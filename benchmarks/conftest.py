@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper figure and prints the same
+rows/series the paper reports.  ``pytest benchmarks/ --benchmark-only``
+runs them all; set ``REPRO_FULL=1`` for paper-scale repetitions (slower,
+tighter statistics).
+"""
+
+import os
+
+import pytest
+
+#: Full-scale mode multiplies repetitions to the paper's 20 per material.
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def repetitions(quick: int, full: int = 20) -> int:
+    """Pick a repetition count for the current scale."""
+    return full if FULL_SCALE else quick
+
+
+@pytest.fixture
+def seed():
+    """Deployment seed shared by the benchmarks (reproducible runs)."""
+    return 1

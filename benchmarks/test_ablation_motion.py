@@ -1,0 +1,20 @@
+"""Ablation: moving / flowing liquids (paper Discussion limitation)."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import motion_ablation
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_ablation_motion(benchmark, seed):
+    result = benchmark.pedantic(
+        motion_ablation,
+        kwargs={"repetitions": repetitions(8), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scalar_table("Ablation -- liquid motion", result))
+    values = list(result.values())
+    # Static is at least as good as the strongest motion level.
+    assert values[0] >= values[-1] - 0.05

@@ -1,0 +1,21 @@
+"""Ablation: multi-link fusion (paper Discussion future work)."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import multi_link_fusion
+
+
+def test_ablation_multi_link(benchmark, seed):
+    result = benchmark.pedantic(
+        multi_link_fusion,
+        kwargs={"repetitions": repetitions(8), "seed": seed, "num_links": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Ablation -- multi-link majority fusion (library, 3 m)")
+    for i, acc in enumerate(result["per_link"], start=1):
+        print(f"  link {i}: {acc:.3f}")
+    print(f"  fused : {result['fused']:.3f}")
+    # Fusion must beat the average single link.
+    assert result["fused"] >= result["mean_single"] - 0.05

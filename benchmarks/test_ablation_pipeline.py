@@ -1,0 +1,51 @@
+"""Ablation: design choices called out in DESIGN.md.
+
+Compares the full pipeline against variants with one ingredient removed:
+single antenna pair (no fusion), no coarse-pair feature, envelope-only
+gamma resolution, and fewer good subcarriers.
+"""
+
+from conftest import repetitions
+
+from repro.core.config import WiMiConfig
+from repro.experiments.datasets import (
+    collect_dataset,
+    paper_liquids,
+    split_dataset,
+    standard_scene,
+)
+from repro.experiments.reporting import format_scalar_table
+from repro.experiments.runner import fit_and_score
+
+
+def _run(seed, reps):
+    materials = paper_liquids()
+    dataset = collect_dataset(
+        materials, scene=standard_scene("lab"), repetitions=reps, seed=seed
+    )
+    train, test = split_dataset(dataset)
+    labels = [m.name for m in materials]
+    variants = {
+        "full": WiMiConfig(),
+        "single_pair": WiMiConfig(num_feature_pairs=1),
+        "no_coarse_feature": WiMiConfig(include_coarse_feature=False),
+        "envelope_gamma": WiMiConfig(
+            use_coarse_pair=False, gamma_strategy="envelope"
+        ),
+        "p1_subcarrier": WiMiConfig(num_good_subcarriers=1),
+        "p8_subcarriers": WiMiConfig(num_good_subcarriers=8),
+    }
+    return {
+        name: fit_and_score(train, test, labels, materials, config).accuracy
+        for name, config in variants.items()
+    }
+
+
+def test_ablation_pipeline(benchmark, seed):
+    result = benchmark.pedantic(
+        _run, args=(seed, repetitions(10)), rounds=1, iterations=1
+    )
+    print()
+    print(format_scalar_table("Ablation -- pipeline variants", result))
+    # The full pipeline should be at or near the top.
+    assert result["full"] >= max(result.values()) - 0.1

@@ -1,0 +1,33 @@
+"""Bench E02: Fig. 2 + Fig. 12 -- phase calibration microbenchmark."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import phase_calibration_microbenchmark
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_fig02_12_phase_calibration(benchmark, seed):
+    result = benchmark.pedantic(
+        phase_calibration_microbenchmark,
+        kwargs={"environment": "library", "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_scalar_table(
+            "Fig. 2/12 -- angular fluctuation (degrees)",
+            {
+                "raw phase": result["raw_spread_deg"],
+                "antenna difference": result["pair_difference_spread_deg"],
+                "good subcarriers": result["selected_spread_deg"],
+            },
+            unit="deg",
+        )
+    )
+    # Shape: raw >> antenna difference >= good subcarriers.
+    assert result["raw_spread_deg"] > 3 * result["pair_difference_spread_deg"]
+    assert (
+        result["selected_spread_deg"]
+        <= result["pair_difference_spread_deg"] + 1e-9
+    )

@@ -1,0 +1,16 @@
+"""Bench E03: Fig. 3 -- raw CSI amplitude noise."""
+
+from repro.experiments.figures import raw_amplitude_microbenchmark
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_fig03_raw_amplitude(benchmark, seed):
+    result = benchmark.pedantic(
+        raw_amplitude_microbenchmark, kwargs={"seed": seed}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scalar_table("Fig. 3 -- raw amplitude statistics", result))
+    # Shape: outliers exist and the distribution is heavy-tailed.
+    assert result["outlier_fraction"] > 0.0
+    assert result["excess_kurtosis"] > 1.0

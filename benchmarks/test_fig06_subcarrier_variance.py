@@ -1,0 +1,25 @@
+"""Bench E06: Fig. 6 -- per-subcarrier phase-difference variance."""
+
+import numpy as np
+
+from repro.experiments.figures import subcarrier_variance_profile
+
+
+def test_fig06_subcarrier_variance(benchmark, seed):
+    result = benchmark.pedantic(
+        subcarrier_variance_profile, kwargs={"seed": seed}, rounds=1,
+        iterations=1,
+    )
+    variances = result["variances"]
+    print()
+    print("Fig. 6 -- phase-difference variance per subcarrier")
+    for k, v in enumerate(variances):
+        marker = "  <-- selected" if k in result["selected_subcarriers"] else ""
+        print(f"  subcarrier {k:2d}: {v:8.5f}{marker}")
+    # Shape: profile is frequency selective and the selection sits at the
+    # minima.
+    assert result["min_variance"] < result["median_variance"]
+    selected_mean = float(
+        np.mean([variances[k] for k in result["selected_subcarriers"]])
+    )
+    assert selected_mean <= result["median_variance"]

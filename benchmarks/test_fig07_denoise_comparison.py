@@ -1,0 +1,25 @@
+"""Bench E07: Fig. 7 -- denoising method comparison."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import denoise_filter_comparison
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_fig07_denoise_comparison(benchmark, seed):
+    result = benchmark.pedantic(
+        denoise_filter_comparison,
+        kwargs={"trials": repetitions(10, 40), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_scalar_table(
+            "Fig. 7 -- RMSE against ground truth", result
+        )
+    )
+    # Shape: the proposed denoiser beats the linear smoothers (slide /
+    # Butterworth), which smear impulse bursts across the window.
+    assert result["proposed"] < result["slide"]
+    assert result["proposed"] < result["butterworth"]

@@ -1,0 +1,21 @@
+"""Bench E08: Fig. 8 -- amplitude-ratio variance vs per-antenna."""
+
+from repro.experiments.figures import amplitude_ratio_variance
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_fig08_amplitude_ratio(benchmark, seed):
+    result = benchmark.pedantic(
+        amplitude_ratio_variance, kwargs={"seed": seed}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_scalar_table(
+            "Fig. 8 -- normalised amplitude variance", result
+        )
+    )
+    # Shape: the inter-antenna ratio is markedly more stable than either
+    # antenna's amplitude.
+    assert result["ratio_variance"] < result["antenna0_variance"]
+    assert result["ratio_variance"] < result["antenna1_variance"]

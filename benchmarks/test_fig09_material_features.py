@@ -1,0 +1,26 @@
+"""Bench E09: Fig. 9 -- material feature clusters for five liquids."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import material_feature_clusters
+from repro.experiments.reporting import format_cluster_table
+
+
+def test_fig09_material_features(benchmark, seed):
+    result = benchmark.pedantic(
+        material_feature_clusters,
+        kwargs={"repetitions": repetitions(8), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_cluster_table("Fig. 9 -- Omega-bar clusters", result))
+    # Shape: measured cluster ordering matches the theory ordering and
+    # clusters are tight relative to the gaps.
+    by_theory = sorted(result, key=lambda n: result[n]["theory"])
+    by_measured = sorted(result, key=lambda n: result[n]["mean"])
+    assert by_theory == by_measured
+    means = sorted(stats["mean"] for stats in result.values())
+    min_gap = min(b - a for a, b in zip(means, means[1:]))
+    max_std = max(stats["std"] for stats in result.values())
+    assert max_std < min_gap

@@ -1,0 +1,17 @@
+"""Bench E10: Fig. 10 -- per-antenna-combination stability."""
+
+from repro.experiments.figures import antenna_combination_variance
+from repro.experiments.reporting import format_pair_variance
+
+
+def test_fig10_antenna_variance(benchmark, seed):
+    result = benchmark.pedantic(
+        antenna_combination_variance, kwargs={"seed": seed}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_pair_variance("Fig. 10 -- pair stability", result))
+    # Shape: combinations differ, and the pair avoiding the noisy third
+    # RF chain (antennas 1&2) is the most stable on the phase metric.
+    phase_vars = {p: v["phase_variance"] for p, v in result.items()}
+    assert min(phase_vars, key=phase_vars.get) == (0, 1)

@@ -1,0 +1,31 @@
+"""Bench E14: Fig. 14 -- amplitude denoising vs identification accuracy."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import denoise_ablation_accuracy
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_fig14_denoise_accuracy(benchmark, seed):
+    result = benchmark.pedantic(
+        denoise_ablation_accuracy,
+        kwargs={"repetitions": repetitions(10), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_scalar_table(
+            "Fig. 14 -- overall accuracy",
+            {k: v["overall"] for k, v in result.items()},
+        )
+    )
+    for k, v in result.items():
+        print(f"  {k}: " + ", ".join(
+            f"{m}={a:.2f}" for m, a in v["per_class"].items()
+        ))
+    # Shape: denoising does not hurt, and typically helps.
+    assert (
+        result["with_denoising"]["overall"]
+        >= result["without_denoising"]["overall"] - 0.05
+    )

@@ -1,0 +1,24 @@
+"""Bench E15: Fig. 15 -- ten-liquid confusion matrix (headline result)."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import ten_liquid_confusion
+from repro.experiments.reporting import format_confusion
+
+
+def test_fig15_ten_liquids(benchmark, seed):
+    result = benchmark.pedantic(
+        ten_liquid_confusion,
+        kwargs={"repetitions": repetitions(16), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_confusion("Fig. 15 -- ten liquids (lab)", result["confusion"]))
+    # Shape: high overall accuracy (paper: ~96%); every liquid usable.
+    assert result["accuracy"] >= 0.85
+    # Pepsi vs Coke is the designed hard pair; jointly they must stay
+    # clearly identifiable (individually they can dip on the small
+    # quick-mode test split).
+    hard_pair = (result["per_class"]["pepsi"] + result["per_class"]["coke"]) / 2
+    assert hard_pair >= 0.5

@@ -1,0 +1,23 @@
+"""Bench E16: Fig. 16 -- saltwater concentration discrimination."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import concentration_confusion
+from repro.experiments.reporting import format_confusion
+
+
+def test_fig16_concentrations(benchmark, seed):
+    result = benchmark.pedantic(
+        concentration_confusion,
+        kwargs={"repetitions": repetitions(12), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_confusion(
+            "Fig. 16 -- saltwater concentrations", result["confusion"]
+        )
+    )
+    # Shape: >= 95% in the paper; concentrations are well separated.
+    assert result["accuracy"] >= 0.9

@@ -1,0 +1,31 @@
+"""Bench E17: Fig. 17 -- accuracy vs Tx-Rx distance."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import distance_sweep
+from repro.experiments.reporting import format_environment_series
+
+
+def test_fig17_distance(benchmark, seed):
+    result = benchmark.pedantic(
+        distance_sweep,
+        kwargs={
+            "distances_m": (1.0, 2.0, 3.0),
+            "repetitions": repetitions(6, 12),
+            "seed": seed,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_environment_series(
+            "Fig. 17 -- accuracy vs distance", result, "distance"
+        )
+    )
+    # Shape: longer links degrade accuracy (more relative multipath),
+    # but 3 m stays usable (paper: ~87-90%).
+    for env, series in result.items():
+        first, last = series[0][1], series[-1][1]
+        assert last <= first + 0.05, env
+        assert last >= 0.5, env

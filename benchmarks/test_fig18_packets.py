@@ -1,0 +1,30 @@
+"""Bench E18: Fig. 18 -- accuracy vs number of packets."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import packet_sweep
+from repro.experiments.reporting import format_environment_series
+
+
+def test_fig18_packets(benchmark, seed):
+    result = benchmark.pedantic(
+        packet_sweep,
+        kwargs={
+            "packet_counts": (3, 10, 20, 30),
+            "repetitions": repetitions(6, 12),
+            "seed": seed,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_environment_series(
+            "Fig. 18 -- accuracy vs packet count", result, "packets"
+        )
+    )
+    # Shape: more packets help (3 -> 20) and saturate (20 -> 30).
+    for env, series in result.items():
+        accs = dict(series)
+        assert accs[20] >= accs[3] - 0.05, env
+        assert abs(accs[30] - accs[20]) <= 0.15, env

@@ -1,0 +1,22 @@
+"""Bench E19: Fig. 19 -- accuracy vs container size."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import container_size_sweep
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_fig19_container_size(benchmark, seed):
+    result = benchmark.pedantic(
+        container_size_sweep,
+        kwargs={"repetitions": repetitions(8), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scalar_table("Fig. 19 -- accuracy vs diameter", result))
+    values = list(result.values())
+    # Shape: large beakers fine; the sub-wavelength 3.2 cm beaker drops
+    # clearly (diffraction dominates).
+    assert values[0] >= 0.7
+    assert values[-1] <= values[0] - 0.1

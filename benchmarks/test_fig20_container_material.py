@@ -1,0 +1,25 @@
+"""Bench E20: Fig. 20 -- container material (plastic vs glass)."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import container_material_comparison
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_fig20_container_material(benchmark, seed):
+    result = benchmark.pedantic(
+        container_material_comparison,
+        kwargs={"repetitions": repetitions(8), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_scalar_table(
+            "Fig. 20 -- accuracy by container material",
+            {k: v["overall"] for k, v in result.items()},
+        )
+    )
+    # Shape: the empty-container baseline cancels the wall, so plastic
+    # and glass perform similarly.
+    assert abs(result["plastic"]["overall"] - result["glass"]["overall"]) <= 0.2

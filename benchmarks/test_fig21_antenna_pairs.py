@@ -1,0 +1,20 @@
+"""Bench E21: Fig. 21 -- accuracy per antenna combination."""
+
+from conftest import repetitions
+
+from repro.experiments.figures import antenna_pair_accuracy
+from repro.experiments.reporting import format_scalar_table
+
+
+def test_fig21_antenna_pairs(benchmark, seed):
+    result = benchmark.pedantic(
+        antenna_pair_accuracy,
+        kwargs={"repetitions": repetitions(8), "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scalar_table("Fig. 21 -- accuracy by antenna pair", result))
+    # Shape: combinations differ; every pair stays usable.
+    assert max(result.values()) - min(result.values()) <= 0.6
+    assert max(result.values()) >= 0.7

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Robustness survey across deployment environments.
+
+The paper evaluates WiMi in three rooms of increasing multipath richness
+(an empty hall, a lab, a library) and reports >95% in all of them at the
+2 m default link.  This example trains and tests a 6-liquid classifier in
+each environment and at two link lengths, printing the accuracy grid.
+
+Run:  python examples/environment_survey.py
+"""
+
+from repro import default_catalog
+from repro.experiments.datasets import standard_scene
+from repro.experiments.runner import run_identification
+
+LIQUIDS = ("pure_water", "pepsi", "milk", "vinegar", "oil", "soy")
+
+
+def main() -> None:
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in LIQUIDS]
+
+    print(f"{'environment':<12} {'distance':>9} {'accuracy':>9}  worst class")
+    for env in ("hall", "lab", "library"):
+        for distance in (2.0, 3.0):
+            result = run_identification(
+                materials,
+                scene=standard_scene(env, distance_m=distance),
+                repetitions=10,
+                seed=3,
+            )
+            per_class = result.per_class_accuracy()
+            worst = min(per_class, key=per_class.get)
+            print(
+                f"{env:<12} {distance:>8.1f}m {result.accuracy:>9.3f}  "
+                f"{worst} ({per_class[worst]:.2f})"
+            )
+
+
+if __name__ == "__main__":
+    main()

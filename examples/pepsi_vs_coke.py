@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fine-grained sensing: tell Pepsi from Coke without a taste.
+
+The paper's headline party trick (Sec. I): the two colas differ only
+slightly in sugar/acid balance, i.e. in complex permittivity, yet WiMi
+separates them at better than 90%.  This example runs the two-cola
+discrimination plus the nearby sweet-water impostor, and prints the
+Omega-bar clusters so you can see *why* it works.
+
+Run:  python examples/pepsi_vs_coke.py
+"""
+
+import numpy as np
+
+from repro import (
+    DataCollector,
+    WiMi,
+    default_catalog,
+    material_feature_theory,
+    theory_reference_omegas,
+)
+from repro.experiments.datasets import standard_scene
+from repro.ml.validation import confusion_matrix
+
+
+def main() -> None:
+    catalog = default_catalog()
+    names = ("pepsi", "coke", "sweet_water")
+    drinks = [catalog.get(n) for n in names]
+
+    print("Theory material features (Omega-bar, Eq. 21):")
+    for drink in drinks:
+        print(f"  {drink.name:<12} {material_feature_theory(drink):+.4f}")
+
+    scene = standard_scene("lab")
+    collector = DataCollector(scene, rng=7)
+    wimi = WiMi(theory_reference_omegas(drinks))
+
+    print("\nCollecting 14 measurements per drink...")
+    train, test = [], []
+    for drink in drinks:
+        sessions = collector.collect_many(drink, repetitions=14)
+        train.extend(sessions[:9])
+        test.extend(sessions[9:])
+    wimi.fit(train)
+
+    print("Measured feature clusters (training database):")
+    for name in names:
+        mean = wimi.database.mean_feature(name)
+        spread = wimi.database.feature_spread(name)
+        print(f"  {name:<12} mean_omega={np.mean(mean):+.4f}  spread={spread:.4f}")
+
+    y_true = np.array([s.material_name for s in test])
+    y_pred = np.array([wimi.identify(s) for s in test])
+    cm = confusion_matrix(y_true, y_pred, labels=list(names))
+    print("\nConfusion matrix (rows = truth):")
+    print(cm.render())
+    print(f"\noverall accuracy: {cm.accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

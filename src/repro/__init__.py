@@ -1,0 +1,104 @@
+"""WiMi reproduction: material identification with commodity Wi-Fi CSI.
+
+Full reimplementation of *"WiMi: Target Material Identification with
+Commodity Wi-Fi Devices"* (ICDCS 2019), including a physics-based CSI
+capture simulator standing in for the Intel 5300 testbed.
+
+Quickstart::
+
+    from repro import (
+        WiMi, WiMiConfig, default_catalog, make_environment,
+        LinkGeometry, CylinderTarget, SimulationScene, DataCollector,
+        theory_reference_omegas,
+    )
+
+    catalog = default_catalog()
+    scene = SimulationScene(
+        geometry=LinkGeometry(distance=2.0),
+        environment=make_environment("lab"),
+        target=CylinderTarget(lateral_offset=0.011),
+    )
+    collector = DataCollector(scene, rng=0)
+    liquids = [catalog.get(n) for n in ("pure_water", "pepsi", "oil")]
+
+    sessions = [
+        collector.collect(m) for m in liquids for _ in range(10)
+    ]
+    wimi = WiMi(theory_reference_omegas(liquids))
+    wimi.fit(sessions)
+    print(wimi.identify(collector.collect(catalog.get("pepsi"))))
+"""
+
+from repro.channel import (
+    AIR,
+    AntennaArray,
+    CylinderTarget,
+    Environment,
+    LinkGeometry,
+    Material,
+    MaterialCatalog,
+    default_catalog,
+    make_environment,
+)
+from repro.channel.propagation import (
+    material_feature_theory,
+    propagation_constants,
+)
+from repro.core import (
+    AmplitudeProcessor,
+    AntennaPairSelector,
+    FeatureMeasurement,
+    MaterialDatabase,
+    MaterialFeatureExtractor,
+    PhaseCalibrator,
+    SubcarrierSelector,
+    WiMi,
+    WiMiConfig,
+)
+from repro.core.feature import resolve_gamma, theory_reference_omegas
+from repro.csi import (
+    CaptureSession,
+    CsiPacket,
+    CsiSimulator,
+    CsiTrace,
+    DataCollector,
+    HardwareProfile,
+    SessionConfig,
+    SimulationScene,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIR",
+    "AmplitudeProcessor",
+    "AntennaArray",
+    "AntennaPairSelector",
+    "CaptureSession",
+    "CsiPacket",
+    "CsiSimulator",
+    "CsiTrace",
+    "CylinderTarget",
+    "DataCollector",
+    "Environment",
+    "FeatureMeasurement",
+    "HardwareProfile",
+    "LinkGeometry",
+    "Material",
+    "MaterialCatalog",
+    "MaterialDatabase",
+    "MaterialFeatureExtractor",
+    "PhaseCalibrator",
+    "SessionConfig",
+    "SimulationScene",
+    "SubcarrierSelector",
+    "WiMi",
+    "WiMiConfig",
+    "__version__",
+    "default_catalog",
+    "make_environment",
+    "material_feature_theory",
+    "propagation_constants",
+    "resolve_gamma",
+    "theory_reference_omegas",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface: regenerate any paper figure from the terminal.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig15                # ten-liquid confusion matrix
+    python -m repro fig17 --seed 3       # distance sweep, another deployment
+    python -m repro all --seed 1         # everything, in order
+
+Every command prints the same rows/series the paper's figure plots, via
+:mod:`repro.experiments.reporting`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures as F
+from repro.experiments import reporting as R
+
+
+def _fig02(args) -> str:
+    data = F.phase_calibration_microbenchmark(seed=args.seed)
+    return R.format_scalar_table(
+        "Fig. 2/12 -- angular fluctuation (degrees)",
+        {
+            "raw phase": data["raw_spread_deg"],
+            "antenna difference": data["pair_difference_spread_deg"],
+            "good subcarriers": data["selected_spread_deg"],
+        },
+        unit="deg",
+    )
+
+
+def _fig03(args) -> str:
+    return R.format_scalar_table(
+        "Fig. 3 -- raw amplitude statistics",
+        F.raw_amplitude_microbenchmark(seed=args.seed),
+    )
+
+
+def _fig06(args) -> str:
+    data = F.subcarrier_variance_profile(seed=args.seed)
+    lines = ["Fig. 6 -- phase-difference variance per subcarrier"]
+    for k, v in enumerate(data["variances"]):
+        marker = "  <-- selected" if k in data["selected_subcarriers"] else ""
+        lines.append(f"  subcarrier {k:2d}: {v:8.5f}{marker}")
+    return "\n".join(lines)
+
+
+def _fig07(args) -> str:
+    return R.format_scalar_table(
+        "Fig. 7 -- denoiser RMSE vs ground truth",
+        F.denoise_filter_comparison(seed=args.seed),
+    )
+
+
+def _fig08(args) -> str:
+    return R.format_scalar_table(
+        "Fig. 8 -- normalised amplitude variance",
+        F.amplitude_ratio_variance(seed=args.seed),
+    )
+
+
+def _fig09(args) -> str:
+    return R.format_cluster_table(
+        "Fig. 9 -- Omega-bar clusters",
+        F.material_feature_clusters(seed=args.seed),
+    )
+
+
+def _fig10(args) -> str:
+    return R.format_pair_variance(
+        "Fig. 10 -- antenna-pair stability",
+        F.antenna_combination_variance(seed=args.seed),
+    )
+
+
+def _fig13(args) -> str:
+    return R.format_scalar_table(
+        "Fig. 13 -- accuracy by subcarrier set",
+        F.subcarrier_choice_accuracy(seed=args.seed),
+    )
+
+
+def _fig14(args) -> str:
+    data = F.denoise_ablation_accuracy(seed=args.seed)
+    return R.format_scalar_table(
+        "Fig. 14 -- accuracy with/without denoising",
+        {k: v["overall"] for k, v in data.items()},
+    )
+
+
+def _fig15(args) -> str:
+    data = F.ten_liquid_confusion(seed=args.seed)
+    return R.format_confusion("Fig. 15 -- ten liquids (lab)", data["confusion"])
+
+
+def _fig16(args) -> str:
+    data = F.concentration_confusion(seed=args.seed)
+    return R.format_confusion(
+        "Fig. 16 -- saltwater concentrations", data["confusion"]
+    )
+
+
+def _fig17(args) -> str:
+    return R.format_environment_series(
+        "Fig. 17 -- accuracy vs Tx-Rx distance",
+        F.distance_sweep(seed=args.seed),
+        "distance",
+    )
+
+
+def _fig18(args) -> str:
+    return R.format_environment_series(
+        "Fig. 18 -- accuracy vs packet count",
+        F.packet_sweep(seed=args.seed),
+        "packets",
+    )
+
+
+def _fig19(args) -> str:
+    return R.format_scalar_table(
+        "Fig. 19 -- accuracy vs container diameter",
+        F.container_size_sweep(seed=args.seed),
+    )
+
+
+def _fig20(args) -> str:
+    data = F.container_material_comparison(seed=args.seed)
+    return R.format_scalar_table(
+        "Fig. 20 -- accuracy by container material",
+        {k: v["overall"] for k, v in data.items()},
+    )
+
+
+def _fig21(args) -> str:
+    return R.format_scalar_table(
+        "Fig. 21 -- accuracy by antenna pair",
+        F.antenna_pair_accuracy(seed=args.seed),
+    )
+
+
+#: Command registry: name -> (runner, description).
+COMMANDS = {
+    "fig02": (_fig02, "phase calibration microbenchmark (also Fig. 12)"),
+    "fig03": (_fig03, "raw amplitude noise statistics"),
+    "fig06": (_fig06, "per-subcarrier phase-difference variance"),
+    "fig07": (_fig07, "denoising method comparison"),
+    "fig08": (_fig08, "amplitude-ratio variance"),
+    "fig09": (_fig09, "material feature clusters"),
+    "fig10": (_fig10, "antenna-combination variance"),
+    "fig13": (_fig13, "subcarrier choice vs accuracy"),
+    "fig14": (_fig14, "denoising ablation"),
+    "fig15": (_fig15, "ten-liquid confusion matrix"),
+    "fig16": (_fig16, "saltwater concentrations"),
+    "fig17": (_fig17, "distance sweep"),
+    "fig18": (_fig18, "packet-count sweep"),
+    "fig19": (_fig19, "container-size sweep"),
+    "fig20": (_fig20, "container-material comparison"),
+    "fig21": (_fig21, "antenna-pair accuracy"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate WiMi (ICDCS 2019) evaluation figures.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(COMMANDS) + ["list", "all"],
+        help="figure to regenerate, 'list' to enumerate, 'all' for everything",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="deployment seed (default 1)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in COMMANDS)
+        for name in sorted(COMMANDS):
+            print(f"{name:<{width}}  {COMMANDS[name][1]}")
+        return 0
+    names = sorted(COMMANDS) if args.command == "all" else [args.command]
+    for name in names:
+        runner, _ = COMMANDS[name]
+        print(runner(args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""WiMi core -- the paper's contribution.
+
+The modules here implement the Fig. 5 workflow on top of the substrates:
+
+* :mod:`repro.core.phase` -- Phase Calibration Module (Eq. 5-6): raw phase
+  is useless; the inter-antenna phase difference cancels CFO/SFO/PBD.
+* :mod:`repro.core.subcarrier` -- "good" subcarrier selection (Eq. 7,
+  Fig. 6): pick the subcarriers whose phase difference is most stable.
+* :mod:`repro.core.amplitude` -- Amplitude Denoising Module (Sec. III-C):
+  3-sigma outlier rejection + spatially-selective wavelet filtering +
+  inter-antenna amplitude ratio.
+* :mod:`repro.core.feature` -- the size-independent material feature
+  ``Omega-bar`` (Eq. 18-21) with dictionary-aided ``gamma`` resolution.
+* :mod:`repro.core.antenna` -- antenna-pair selection (Sec. III-F).
+* :mod:`repro.core.database` -- the material feature database.
+* :mod:`repro.core.pipeline` -- :class:`WiMi`, the end-to-end system.
+"""
+
+from repro.core.amplitude import AmplitudeProcessor
+from repro.core.antenna import AntennaPairSelector, PairStability
+from repro.core.config import WiMiConfig
+from repro.core.database import MaterialDatabase
+from repro.core.feature import (
+    FeatureMeasurement,
+    MaterialFeatureExtractor,
+    SessionFeatures,
+    resolve_gamma,
+)
+from repro.core.phase import PhaseCalibrator
+from repro.core.pipeline import WiMi
+from repro.core.subcarrier import SubcarrierSelector
+
+__all__ = [
+    "AmplitudeProcessor",
+    "AntennaPairSelector",
+    "FeatureMeasurement",
+    "MaterialDatabase",
+    "MaterialFeatureExtractor",
+    "PairStability",
+    "PhaseCalibrator",
+    "SessionFeatures",
+    "SubcarrierSelector",
+    "WiMi",
+    "WiMiConfig",
+    "resolve_gamma",
+]

@@ -1,0 +1,154 @@
+"""Amplitude Denoising Module (paper Sec. III-C).
+
+Three stages, mirroring the paper:
+
+1. **Outlier rejection** -- amplitudes outside ``mu +/- 3 sigma`` are
+   dropped (replaced by the surviving median).
+2. **Impulse-noise removal** -- the spatially-selective wavelet filter of
+   Eq. 8-13 (see :mod:`repro.dsp.wavelet_denoise`), applied to each
+   (subcarrier, antenna) amplitude time series.
+3. **Amplitude ratio** -- close-by antennas see near-identical multipath
+   and share the hardware gain, so the *ratio* of their amplitudes is far
+   more stable than either amplitude alone (Fig. 8); the ratio is what
+   feeds the material feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csi.model import CsiTrace
+from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser
+
+#: Amplitudes below this are clamped before ratios/logs (quantisation can
+#: produce exact zeros).
+_AMPLITUDE_EPS = 1e-9
+
+
+class AmplitudeProcessor:
+    """Denoises CSI amplitudes and forms inter-antenna ratios."""
+
+    def __init__(
+        self,
+        denoiser: SpatiallySelectiveDenoiser | None = None,
+        denoise: bool = True,
+    ):
+        self.denoiser = (
+            denoiser if denoiser is not None else SpatiallySelectiveDenoiser()
+        )
+        self.denoise = denoise
+        # Denoising all (subcarrier, antenna) series of a trace is the
+        # pipeline's hot spot and several consumers (each antenna pair,
+        # the coarse pair) ask for the same trace; memoise per trace
+        # identity.  Traces are de-facto immutable after capture.
+        self._cache: dict[int, np.ndarray] = {}
+        self._cache_order: list[int] = []
+
+    # ------------------------------------------------------------------
+
+    def clean_amplitudes(self, trace: CsiTrace) -> np.ndarray:
+        """Denoised ``|H|`` series, shape ``(M, K, A)``.
+
+        With ``denoise=False`` the raw amplitudes are returned (the
+        Fig. 14 ablation).
+        """
+        key = id(trace)
+        if key in self._cache:
+            return self._cache[key]
+        cleaned = self._clean_amplitudes_uncached(trace)
+        self._cache[key] = cleaned
+        self._cache_order.append(key)
+        if len(self._cache_order) > 64:
+            oldest = self._cache_order.pop(0)
+            self._cache.pop(oldest, None)
+        return cleaned
+
+    def _clean_amplitudes_uncached(self, trace: CsiTrace) -> np.ndarray:
+        amps = trace.amplitudes()
+        if amps.size == 0:
+            raise ValueError("empty trace")
+        if not self.denoise:
+            return np.clip(amps, _AMPLITUDE_EPS, None)
+        cleaned = np.empty_like(amps)
+        num_packets, num_sc, num_ant = amps.shape
+        for k in range(num_sc):
+            for a in range(num_ant):
+                series = amps[:, k, a]
+                if num_packets < 4:
+                    # Too short for the wavelet stage; outliers only.
+                    from repro.dsp.wavelet_denoise import remove_outliers
+
+                    cleaned[:, k, a], _ = remove_outliers(
+                        series, self.denoiser.outlier_sigmas
+                    )
+                else:
+                    cleaned[:, k, a] = self.denoiser.denoise(series)
+        return np.clip(cleaned, _AMPLITUDE_EPS, None)
+
+    def amplitude_ratio(
+        self, trace: CsiTrace, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """Per-packet inter-antenna amplitude ratio, shape ``(M, K)``."""
+        i, j = self._check_pair(trace, pair)
+        cleaned = self.clean_amplitudes(trace)
+        return cleaned[:, :, i] / cleaned[:, :, j]
+
+    def averaged_amplitude_ratio(
+        self, trace: CsiTrace, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """Packet-averaged ratio per subcarrier, shape ``(K,)``.
+
+        Averaged in the log domain, the natural scale of a ratio (the
+        feature consumes ``ln`` of it anyway).
+        """
+        ratio = self.amplitude_ratio(trace, pair)
+        return np.exp(np.mean(np.log(ratio), axis=0))
+
+    # ------------------------------------------------------------------
+    # Diagnostics for the Fig. 8 microbenchmark
+    # ------------------------------------------------------------------
+
+    def amplitude_variance_per_subcarrier(
+        self, trace: CsiTrace, antenna: int
+    ) -> np.ndarray:
+        """Normalised variance of raw ``|H|`` across packets, shape ``(K,)``.
+
+        Normalised by the squared mean so antennas with different gains
+        are comparable (Fig. 8 plots all curves on one axis).
+        """
+        amps = trace.amplitudes()
+        if amps.size == 0:
+            raise ValueError("empty trace")
+        if not 0 <= antenna < amps.shape[2]:
+            raise ValueError(
+                f"antenna {antenna} out of range [0, {amps.shape[2]})"
+            )
+        series = amps[:, :, antenna]
+        means = np.clip(series.mean(axis=0), _AMPLITUDE_EPS, None)
+        return series.var(axis=0) / (means ** 2)
+
+    def ratio_variance_per_subcarrier(
+        self, trace: CsiTrace, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """Normalised variance of the raw amplitude ratio, shape ``(K,)``."""
+        i, j = self._check_pair(trace, pair)
+        amps = np.clip(trace.amplitudes(), _AMPLITUDE_EPS, None)
+        ratio = amps[:, :, i] / amps[:, :, j]
+        means = np.clip(ratio.mean(axis=0), _AMPLITUDE_EPS, None)
+        return ratio.var(axis=0) / (means ** 2)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_pair(trace: CsiTrace, pair: tuple[int, int]) -> tuple[int, int]:
+        if len(trace) == 0:
+            raise ValueError("empty trace")
+        i, j = pair
+        if i == j:
+            raise ValueError(f"antenna pair must be distinct, got {pair}")
+        for a in (i, j):
+            if not 0 <= a < trace.num_antennas:
+                raise ValueError(
+                    f"antenna {a} out of range [0, {trace.num_antennas})"
+                )
+        return i, j

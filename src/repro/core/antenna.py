@@ -1,0 +1,98 @@
+"""Antenna-pair selection (paper Sec. III-F, Fig. 10, Fig. 21).
+
+A receiver with ``p`` antennas offers ``p (p - 1) / 2`` antenna pairs, and
+their phase-difference / amplitude-ratio stability differs: RF chains have
+unequal noise and each pair sees slightly different multipath.  WiMi ranks
+the pairs by a combined stability score and uses the best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.amplitude import AmplitudeProcessor
+from repro.core.phase import PhaseCalibrator
+from repro.core.subcarrier import SubcarrierSelector
+from repro.csi.collector import CaptureSession
+from repro.csi.model import CsiTrace
+
+
+@dataclass(frozen=True)
+class PairStability:
+    """Stability diagnostics of one antenna pair (Fig. 10 data).
+
+    Lower is better for both components and for the combined score.
+    """
+
+    pair: tuple[int, int]
+    phase_variance: float
+    ratio_variance: float
+
+    @property
+    def score(self) -> float:
+        """Combined stability score (sum of the normalised variances)."""
+        return self.phase_variance + self.ratio_variance
+
+
+class AntennaPairSelector:
+    """Ranks antenna pairs by phase/amplitude stability."""
+
+    def __init__(
+        self,
+        selector: SubcarrierSelector | None = None,
+        amplitude: AmplitudeProcessor | None = None,
+    ):
+        self.selector = selector if selector is not None else SubcarrierSelector()
+        # Raw (undenoised) amplitudes: the selection must be cheap and is a
+        # relative comparison, so the denoiser adds nothing here.
+        self.amplitude = (
+            amplitude if amplitude is not None else AmplitudeProcessor(denoise=False)
+        )
+
+    def all_pairs(self, trace: CsiTrace) -> list[tuple[int, int]]:
+        """All unordered antenna pairs of a trace."""
+        n = trace.num_antennas
+        if n < 2:
+            raise ValueError(f"need >= 2 antennas, got {n}")
+        return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+    def stability(
+        self, session: CaptureSession, pair: tuple[int, int]
+    ) -> PairStability:
+        """Fig. 10 stability metrics of one pair, pooled over the session."""
+        phase_var = float(
+            np.mean(
+                self.selector.combined_variances(
+                    session.baseline, session.target, pair
+                )
+            )
+        )
+        ratio_var = float(
+            np.mean(
+                self.amplitude.ratio_variance_per_subcarrier(
+                    session.baseline, pair
+                )
+            )
+            + np.mean(
+                self.amplitude.ratio_variance_per_subcarrier(
+                    session.target, pair
+                )
+            )
+        )
+        return PairStability(
+            pair=pair, phase_variance=phase_var, ratio_variance=ratio_var
+        )
+
+    def rank(self, session: CaptureSession) -> list[PairStability]:
+        """All pairs, most stable first."""
+        stats = [
+            self.stability(session, pair)
+            for pair in self.all_pairs(session.baseline)
+        ]
+        return sorted(stats, key=lambda s: s.score)
+
+    def best_pair(self, session: CaptureSession) -> tuple[int, int]:
+        """The most stable antenna pair for this session."""
+        return self.rank(session)[0].pair

@@ -1,0 +1,137 @@
+"""Baseline feature extractors the paper argues against.
+
+Section III-D: "The material identification feature introduced in
+[TagScan] does not work with commodity Wi-Fi devices ... because the
+accurate absolute phase readings and amplitude readings can be obtained
+from commodity RFID devices but not from commodity Wi-Fi devices."
+
+:class:`AbsoluteFeatureExtractor` implements that TagScan-style feature
+verbatim — single-antenna absolute phase change and amplitude change,
+``Omega_abs = -ln(A_tar/A_free) / (phi_tar - phi_free + 2 gamma pi)`` —
+so the claim can be tested: on RFID-grade readings it equals Eq. 21's
+feature; on commodity Wi-Fi CSI the per-packet clock errors randomise the
+phase term and the feature collapses to noise.  The ablation bench
+``benchmarks/test_ablation_absolute_feature.py`` quantifies exactly this.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.amplitude import AmplitudeProcessor
+from repro.core.feature import (
+    FeatureMeasurement,
+    _omega_from,
+    resolve_gamma_with_coarse,
+)
+from repro.csi.collector import CaptureSession
+from repro.dsp.stats import circular_mean, wrap_phase
+
+
+class AbsoluteFeatureExtractor:
+    """TagScan-style single-antenna absolute feature (paper Sec. III-D).
+
+    Uses the *absolute* phase and amplitude change of one antenna between
+    the baseline and target captures — exactly what a commodity RFID
+    reader provides and a commodity Wi-Fi NIC does not.
+
+    Args:
+        reference_omega: A nominal material feature used only to unwrap
+            the absolute phase (the same role the dictionary plays for
+            WiMi); absolute-feature phase changes are much larger than
+            the differential ones, so some unwrap hint is unavoidable.
+        antenna: Which receive antenna to read.
+        denoise: Apply the amplitude denoiser first (give the baseline
+            its best shot).
+    """
+
+    def __init__(
+        self,
+        reference_omega: float,
+        antenna: int = 0,
+        denoise: bool = True,
+        max_gamma: int = 64,
+    ):
+        if not math.isfinite(reference_omega) or reference_omega <= 0:
+            raise ValueError(
+                f"reference_omega must be finite positive, got "
+                f"{reference_omega}"
+            )
+        if antenna < 0:
+            raise ValueError(f"antenna must be >= 0, got {antenna}")
+        if max_gamma < 0:
+            raise ValueError(f"max_gamma must be >= 0, got {max_gamma}")
+        self.reference_omega = reference_omega
+        self.antenna = antenna
+        self.max_gamma = max_gamma
+        self.amplitude = AmplitudeProcessor(denoise=denoise)
+
+    def measure(
+        self, session: CaptureSession, subcarriers: list[int]
+    ) -> FeatureMeasurement:
+        """Extract the absolute feature from one paired session."""
+        if not subcarriers:
+            raise ValueError("need at least one selected subcarrier")
+        if self.antenna >= session.num_antennas:
+            raise ValueError(
+                f"antenna {self.antenna} out of range "
+                f"[0, {session.num_antennas})"
+            )
+
+        # Absolute phase change per subcarrier (paper Eq. 2, negated to
+        # the paper's sign convention like the differential extractor).
+        base = session.baseline.matrix()[:, :, self.antenna]
+        target = session.target.matrix()[:, :, self.antenna]
+        base_phase = np.array(
+            [circular_mean(np.angle(base[:, k])) for k in range(base.shape[1])]
+        )
+        tar_phase = np.array(
+            [
+                circular_mean(np.angle(target[:, k]))
+                for k in range(target.shape[1])
+            ]
+        )
+        theta_all = -np.asarray(wrap_phase(tar_phase - base_phase))
+
+        # Absolute amplitude change per subcarrier (paper Eq. 4).
+        base_amp = self.amplitude.clean_amplitudes(session.baseline)
+        tar_amp = self.amplitude.clean_amplitudes(session.target)
+        ratio = np.exp(
+            np.mean(np.log(tar_amp[:, :, self.antenna]), axis=0)
+            - np.mean(np.log(base_amp[:, :, self.antenna]), axis=0)
+        )
+        neg_log = -np.log(np.clip(ratio, 1e-12, None))
+
+        theta_sel = theta_all[subcarriers]
+        n_sel = neg_log[subcarriers]
+        theta_agg = circular_mean(theta_sel)
+        n_agg = float(np.mean(n_sel))
+        # Absolute phase changes span tens of wraps (D, not D1-D2, scales
+        # them), hence the wide unwrap range.
+        gamma, _ = resolve_gamma_with_coarse(
+            theta_agg, n_agg, self.reference_omega, max_gamma=self.max_gamma
+        )
+
+        theta_aligned = np.array(
+            [
+                theta_agg + float(wrap_phase(t - theta_agg))
+                for t in theta_sel
+            ]
+        )
+        thetas = theta_aligned + 2.0 * math.pi * gamma
+        omegas = np.array(
+            [_omega_from(t, n) for t, n in zip(thetas, n_sel)]
+        )
+        return FeatureMeasurement(
+            omegas=omegas,
+            delta_theta=thetas,
+            delta_psi=np.exp(-n_sel),
+            gamma=gamma,
+            pair=(self.antenna, self.antenna),
+            subcarriers=list(subcarriers),
+            material_name=session.material_name,
+            theta_aligned=theta_aligned,
+            neg_log_psi=np.asarray(n_sel),
+        )

@@ -1,0 +1,101 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class WiMiConfig:
+    """Knobs of the WiMi pipeline, with the paper's defaults.
+
+    Attributes:
+        num_good_subcarriers: ``P`` of Sec. III-B; the paper selects the
+            ``P = 4`` subcarriers with the smallest phase-difference
+            variance.
+        subcarrier_override: Explicit subcarrier positions (0-based index
+            into the 30-entry report) instead of variance-based selection;
+            used by the Fig. 13 experiment ("random subcarriers 2, 7, 12"
+            vs "good subcarriers 23, 24").
+        antenna_pair: Fixed receiver antenna pair ``(i, j)``, or ``None``
+            to select the most stable pair automatically (Sec. III-F).
+        num_feature_pairs: How many precise antenna pairs contribute
+            feature blocks.  ``1`` is the paper's single-pair mode; the
+            default ``2`` fuses the two most stable pairs (Sec. III-F
+            notes a p-antenna receiver offers p(p-1)/2 usable pairs),
+            which stabilises the hard adjacent-liquid cases.  Clamped to
+            the pairs actually available.
+        denoise_amplitude: Apply the Sec. III-C denoiser before forming
+            amplitude ratios (Fig. 14 turns this off for ablation).
+        wavelet_name: Filter bank of the amplitude denoiser.
+        wavelet_levels: SWT depth of the amplitude denoiser.
+        outlier_sigmas: Outlier-rejection threshold.
+        classifier: ``"svm"`` (paper), ``"knn"`` or ``"centroid"``.
+        svm_c: Soft-margin penalty of the SVM.
+        knn_k: Neighbour count for the kNN ablation.
+        max_gamma: Search range for the phase-wrap integer of Eq. 21.
+        gamma_strategy: ``"dictionary"`` (resolve gamma against the known
+            material feature dictionary) or ``"envelope"`` (pick the gamma
+            whose Omega-bar lands inside the physical envelope).  Used as
+            the fallback when the coarse-pair method is unavailable.
+        use_coarse_pair: With three or more antennas, resolve gamma from
+            the smallest-lever antenna pair's coarse Omega-bar (the
+            paper's "coarse CSI amplitude readings"); falls back to
+            ``gamma_strategy`` on two-antenna devices.
+        include_coarse_feature: Also append the coarse-pair Omega-bar to
+            the feature vector (it is branch-independent and anchors the
+            identify-time branch search).  Disable to study a single
+            pair/subcarrier in isolation (Fig. 13).
+    """
+
+    num_good_subcarriers: int = 4
+    subcarrier_override: tuple[int, ...] | None = None
+    antenna_pair: tuple[int, int] | None = None
+    num_feature_pairs: int = 2
+    denoise_amplitude: bool = True
+    wavelet_name: str = "db2"
+    wavelet_levels: int = 3
+    outlier_sigmas: float = 3.0
+    classifier: str = "svm"
+    svm_c: float = 10.0
+    knn_k: int = 5
+    max_gamma: int = 4
+    gamma_strategy: str = "dictionary"
+    use_coarse_pair: bool = True
+    include_coarse_feature: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_good_subcarriers < 1:
+            raise ValueError(
+                f"num_good_subcarriers must be >= 1, got "
+                f"{self.num_good_subcarriers}"
+            )
+        if self.num_feature_pairs < 1:
+            raise ValueError(
+                f"num_feature_pairs must be >= 1, got {self.num_feature_pairs}"
+            )
+        if self.antenna_pair is not None:
+            i, j = self.antenna_pair
+            if i == j:
+                raise ValueError(f"antenna pair must be distinct, got {i},{j}")
+            if i < 0 or j < 0:
+                raise ValueError(f"antenna indices must be >= 0, got {i},{j}")
+        if self.classifier not in ("svm", "knn", "centroid"):
+            raise ValueError(
+                f"classifier must be svm/knn/centroid, got {self.classifier!r}"
+            )
+        if self.max_gamma < 0:
+            raise ValueError(f"max_gamma must be >= 0, got {self.max_gamma}")
+        if self.gamma_strategy not in ("dictionary", "envelope"):
+            raise ValueError(
+                "gamma_strategy must be 'dictionary' or 'envelope', got "
+                f"{self.gamma_strategy!r}"
+            )
+        if self.outlier_sigmas <= 0:
+            raise ValueError(
+                f"outlier_sigmas must be positive, got {self.outlier_sigmas}"
+            )
+
+    def with_overrides(self, **changes) -> "WiMiConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,228 @@
+"""Material feature database (paper Sec. III-E).
+
+"We put the extracted feature values into the material database.  Then,
+when identifying a test material, WiMi collects the ... measurements, and
+incorporates the material database and the SVM classifier to identify the
+target material."
+
+The database stores labelled feature vectors, exposes per-material
+statistics (the Fig. 9 clusters), and builds the configured classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.feature import FeatureMeasurement
+from repro.ml.centroid import NearestCentroidClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.multiclass import OneVsOneSVC
+from repro.ml.scaler import StandardScaler
+
+
+@dataclass
+class MaterialDatabase:
+    """Labelled store of material feature vectors."""
+
+    entries: dict[str, list[np.ndarray]] = field(default_factory=dict)
+
+    def add(self, measurement: FeatureMeasurement, label: str | None = None) -> None:
+        """Store one measurement under ``label`` (defaults to its own
+        ground-truth name)."""
+        name = label if label is not None else measurement.material_name
+        if not name:
+            raise ValueError("measurement has no label; pass one explicitly")
+        self.entries.setdefault(name, []).append(measurement.vector())
+
+    def add_vector(self, label: str, vector: np.ndarray) -> None:
+        """Store a raw feature vector."""
+        if not label:
+            raise ValueError("label must be non-empty")
+        self.entries.setdefault(label, []).append(
+            np.asarray(vector, dtype=float)
+        )
+
+    @property
+    def labels(self) -> list[str]:
+        """All material labels, insertion-ordered."""
+        return list(self.entries)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.entries.values())
+
+    def count(self, label: str) -> int:
+        """Number of stored vectors for ``label``."""
+        return len(self.entries.get(label, []))
+
+    def mean_feature(self, label: str) -> np.ndarray:
+        """Per-material mean feature vector (the Fig. 9 cluster centre)."""
+        vectors = self.entries.get(label)
+        if not vectors:
+            raise KeyError(f"no entries for material {label!r}")
+        return np.mean(np.stack(vectors), axis=0)
+
+    def feature_spread(self, label: str) -> float:
+        """Std-dev of the scalar (mean-omega) feature for ``label``."""
+        vectors = self.entries.get(label)
+        if not vectors:
+            raise KeyError(f"no entries for material {label!r}")
+        scalars = [float(np.mean(v)) for v in vectors]
+        return float(np.std(scalars))
+
+    def dataset(self) -> tuple[np.ndarray, np.ndarray]:
+        """All vectors as ``(X, y)`` arrays for training."""
+        if not self.entries:
+            raise ValueError("database is empty")
+        xs, ys = [], []
+        for label, vectors in self.entries.items():
+            for vector in vectors:
+                xs.append(vector)
+                ys.append(label)
+        lengths = {v.size for v in xs}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"inconsistent feature vector lengths in database: {lengths}"
+            )
+        return np.stack(xs), np.array(ys)
+
+
+class DatabaseClassifier:
+    """A scaler + classifier trained from a :class:`MaterialDatabase`."""
+
+    def __init__(
+        self,
+        kind: str = "svm",
+        svm_c: float = 10.0,
+        knn_k: int = 5,
+        seed: int = 0,
+    ):
+        if kind not in ("svm", "knn", "centroid"):
+            raise ValueError(f"unknown classifier kind {kind!r}")
+        self.kind = kind
+        self.svm_c = svm_c
+        self.knn_k = knn_k
+        self.seed = seed
+        self._scaler = StandardScaler()
+        self._clf = None
+        self._centroids: NearestCentroidClassifier | None = None
+
+    def fit(self, database: MaterialDatabase) -> "DatabaseClassifier":
+        """Train on everything in the database."""
+        x, y = database.dataset()
+        if len(set(y.tolist())) < 2:
+            raise ValueError("need at least two materials to train")
+        x = self._scaler.fit_transform(x)
+        if self.kind == "svm":
+            self._clf = OneVsOneSVC(kernel="rbf", C=self.svm_c, seed=self.seed)
+        elif self.kind == "knn":
+            self._clf = KNeighborsClassifier(k=self.knn_k)
+        else:
+            self._clf = NearestCentroidClassifier()
+        self._clf.fit(x, y)
+        # Scaled per-class centroids, used by the branch search.
+        self._centroids = NearestCentroidClassifier().fit(x, y)
+        return self
+
+    def predict(self, vectors: np.ndarray) -> np.ndarray:
+        """Predicted material names for feature vectors."""
+        if self._clf is None:
+            raise RuntimeError("classifier is not fitted")
+        x = self._scaler.transform(np.atleast_2d(vectors))
+        return self._clf.predict(x)
+
+    def predict_one(self, measurement: FeatureMeasurement) -> str:
+        """Predicted material name for one measurement."""
+        return str(self.predict(measurement.vector()[None, :])[0])
+
+    def resolve_branch_and_predict(
+        self,
+        features,
+        max_gamma: int = 4,
+        envelope: tuple[float, float] | None = None,
+    ) -> str:
+        """Database-aided branch resolution + classification.
+
+        ``Delta-Theta`` is only measured modulo ``2 pi``, and which branch
+        is correct cannot always be decided from physics alone once the
+        deployment's (static, classifier-absorbed) biases are in play.
+        But the *database* carries the same biases: so, per feature block,
+        the branch whose columns land closest to a known material's
+        centroid is the consistent one.  This is the operational meaning
+        of the paper's "incorporates the material database and the SVM
+        classifier".
+
+        ``features`` is a :class:`repro.core.feature.SessionFeatures` (or
+        a single :class:`FeatureMeasurement`, treated as one block).
+        """
+        from repro.core.feature import SessionFeatures
+
+        if self._clf is None or self._centroids is None:
+            raise RuntimeError("classifier is not fitted")
+        if isinstance(features, FeatureMeasurement):
+            features = SessionFeatures(measurements=[features])
+
+        parts = []
+        for block, measurement in enumerate(features.measurements):
+            parts.append(
+                self._resolve_block(
+                    features, block, measurement, max_gamma, envelope
+                )
+            )
+        vector = np.concatenate(parts)
+        return str(self.predict(vector[None, :])[0])
+
+    def confidence(self, vector) -> float:
+        """How decisively a feature vector matches its nearest material.
+
+        Defined from the scaled centroid distances as
+        ``1 - d_nearest / d_second``: ~1 when the vector sits on one
+        cluster and far from all others, ~0 when two materials are
+        equally plausible.  Useful for flagging out-of-catalog targets
+        (e.g. mixtures, Discussion limitation #1), which land between
+        clusters.
+        """
+        import numpy as _np
+
+        if self._centroids is None:
+            raise RuntimeError("classifier is not fitted")
+        scaled = self._scaler.transform(_np.atleast_2d(vector))
+        deltas = self._centroids.centroids_ - scaled
+        distances = _np.sqrt(_np.sum(deltas * deltas, axis=1))
+        order = _np.sort(distances)
+        if order.size < 2 or order[1] == 0.0:
+            return 1.0
+        return float(max(0.0, 1.0 - order[0] / order[1]))
+
+    def _resolve_block(
+        self,
+        features,
+        block: int,
+        measurement: FeatureMeasurement,
+        max_gamma: int,
+        envelope: tuple[float, float] | None,
+    ) -> np.ndarray:
+        """Best-branch columns for one feature block."""
+        if measurement.theta_aligned is None:
+            return measurement.vector()
+        cols = features.block_slices()[block]
+        centroid_cols = self._centroids.centroids_[:, cols]
+        best_part = None
+        best_distance = float("inf")
+        for gamma in range(-max_gamma, max_gamma + 1):
+            part = measurement.vector_for_gamma(gamma)
+            mean_omega = float(np.mean(part[: len(measurement.subcarriers)]))
+            if envelope is not None:
+                lo, hi = envelope
+                if not lo <= mean_omega <= hi:
+                    continue
+            scaled = (part - self._scaler.mean_[cols]) / self._scaler.scale_[cols]
+            deltas = centroid_cols - scaled[None, :]
+            distance = float(np.min(np.sum(deltas * deltas, axis=1)))
+            if distance < best_distance:
+                best_distance = distance
+                best_part = part
+        if best_part is None:
+            best_part = measurement.vector()
+        return best_part

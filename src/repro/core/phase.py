@@ -1,0 +1,115 @@
+"""Phase Calibration Module (paper Sec. III-B, Eq. 5-6).
+
+Raw CSI phase from a commodity NIC is corrupted per packet by carrier
+frequency offset, sampling frequency offset and packet boundary delay --
+``phi_measured = phi_true + k (lam_b + lam_s) + beta + Z`` (Eq. 5) -- so
+across packets it is uniformly scattered over ``[0, 2 pi)`` (Fig. 2).
+
+All antennas of one board share the sampling and oscillator clocks, so the
+corruption is *common mode*: the phase difference between two antennas,
+
+    Delta-phi_k = phi_k,i - phi_k,j = true difference + Delta-Z   (Eq. 6),
+
+removes it entirely, leaving only the Gaussian measurement-noise
+difference ``Delta-Z``, which averages out over a packet window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csi.model import CsiTrace
+from repro.dsp.stats import angular_spread_deg, circular_mean
+
+
+class PhaseCalibrator:
+    """Extracts calibrated inter-antenna phase differences from traces."""
+
+    def raw_phases(self, trace: CsiTrace, antenna: int = 0) -> np.ndarray:
+        """Uncalibrated per-packet phases, shape ``(M, K)``.
+
+        These are the grey dots of Fig. 2: dominated by per-packet clock
+        errors, useless for sensing.  Exposed for the microbenchmarks.
+        """
+        self._check_antenna(trace, antenna)
+        return np.angle(trace.matrix()[:, :, antenna])
+
+    def phase_difference(
+        self, trace: CsiTrace, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """Eq. 6: per-packet inter-antenna phase difference, shape ``(M, K)``.
+
+        Computed as ``angle(H_i * conj(H_j))``, which is inherently wrapped
+        to ``(-pi, pi]`` and immune to the common clock corruption.
+        """
+        i, j = self._check_pair(trace, pair)
+        matrix = trace.matrix()
+        return np.angle(matrix[:, :, i] * np.conj(matrix[:, :, j]))
+
+    def averaged_phase_difference(
+        self, trace: CsiTrace, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """Per-subcarrier circular mean over the packet window, shape ``(K,)``.
+
+        This is the "averaging over a time window" that removes
+        ``Delta-Z`` in Eq. 6.
+        """
+        diffs = self.phase_difference(trace, pair)
+        return np.array([circular_mean(diffs[:, k]) for k in range(diffs.shape[1])])
+
+    def angular_fluctuation_deg(
+        self,
+        trace: CsiTrace,
+        pair: tuple[int, int] | None = None,
+        antenna: int = 0,
+        subcarrier: int | None = None,
+    ) -> float:
+        """The paper's Fig. 2/12 spread metric, in degrees.
+
+        With ``pair`` given, measures the spread of the calibrated phase
+        differences; otherwise the spread of raw single-antenna phase.
+        ``subcarrier`` restricts to one report position (the figures plot a
+        single subcarrier); default pools all subcarriers' deviations from
+        their own means.
+        """
+        if pair is not None:
+            values = self.phase_difference(trace, pair)
+        else:
+            values = self.raw_phases(trace, antenna)
+        if subcarrier is not None:
+            if not 0 <= subcarrier < values.shape[1]:
+                raise ValueError(
+                    f"subcarrier {subcarrier} out of range "
+                    f"[0, {values.shape[1]})"
+                )
+            return angular_spread_deg(values[:, subcarrier])
+        # Pool per-subcarrier spreads (each subcarrier has its own centre).
+        spreads = [
+            angular_spread_deg(values[:, k]) for k in range(values.shape[1])
+        ]
+        return float(np.mean(spreads))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_antenna(trace: CsiTrace, antenna: int) -> None:
+        if len(trace) == 0:
+            raise ValueError("empty trace")
+        if not 0 <= antenna < trace.num_antennas:
+            raise ValueError(
+                f"antenna {antenna} out of range [0, {trace.num_antennas})"
+            )
+
+    @staticmethod
+    def _check_pair(trace: CsiTrace, pair: tuple[int, int]) -> tuple[int, int]:
+        if len(trace) == 0:
+            raise ValueError("empty trace")
+        i, j = pair
+        if i == j:
+            raise ValueError(f"antenna pair must be distinct, got {pair}")
+        for a in (i, j):
+            if not 0 <= a < trace.num_antennas:
+                raise ValueError(
+                    f"antenna {a} out of range [0, {trace.num_antennas})"
+                )
+        return i, j

@@ -1,0 +1,375 @@
+"""The end-to-end WiMi system (paper Fig. 5).
+
+:class:`WiMi` wires the modules together:
+
+    CaptureSession
+        -> phase calibration (antenna difference)        [core.phase]
+        -> good-subcarrier selection                     [core.subcarrier]
+        -> amplitude denoising + ratio                   [core.amplitude]
+        -> material feature Omega-bar                    [core.feature]
+        -> database + classifier                         [core.database]
+
+Typical use::
+
+    from repro import WiMi, WiMiConfig
+
+    wimi = WiMi(reference_omegas, WiMiConfig())
+    wimi.fit(training_sessions)           # sessions carry labels
+    name = wimi.identify(test_session)    # -> "pepsi"
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.amplitude import AmplitudeProcessor
+from repro.core.antenna import AntennaPairSelector
+from repro.core.config import WiMiConfig
+from repro.core.database import DatabaseClassifier, MaterialDatabase
+from repro.core.feature import (
+    FeatureMeasurement,
+    MaterialFeatureExtractor,
+    SessionFeatures,
+)
+from repro.core.phase import PhaseCalibrator
+from repro.core.subcarrier import SubcarrierSelector
+from repro.csi.collector import CaptureSession
+from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser
+
+
+class WiMi:
+    """Commodity Wi-Fi material identification, end to end.
+
+    Args:
+        reference_omegas: Material feature dictionary used to resolve the
+            phase-wrap ``gamma`` (Eq. 21); normally the theory values of
+            the candidate materials, see
+            :func:`repro.core.feature.theory_reference_omegas`.
+        config: Pipeline configuration; defaults to the paper's choices.
+    """
+
+    def __init__(
+        self,
+        reference_omegas: dict[str, float] | list[float],
+        config: WiMiConfig | None = None,
+    ):
+        self.config = config if config is not None else WiMiConfig()
+        self.calibrator = PhaseCalibrator()
+        self.subcarrier_selector = SubcarrierSelector(self.calibrator)
+        denoiser = SpatiallySelectiveDenoiser(
+            wavelet_name=self.config.wavelet_name,
+            levels=self.config.wavelet_levels,
+            outlier_sigmas=self.config.outlier_sigmas,
+        )
+        self.amplitude = AmplitudeProcessor(
+            denoiser=denoiser, denoise=self.config.denoise_amplitude
+        )
+        self.pair_selector = AntennaPairSelector(self.subcarrier_selector)
+        self.extractor = MaterialFeatureExtractor(
+            reference_omegas,
+            calibrator=self.calibrator,
+            amplitude=self.amplitude,
+            max_gamma=self.config.max_gamma,
+            gamma_strategy=self.config.gamma_strategy,
+        )
+        self.database = MaterialDatabase()
+        self._classifier: DatabaseClassifier | None = None
+        self._pair: tuple[int, int] | None = None
+        self._feature_pairs: list[tuple[int, int]] | None = None
+        self._coarse_pair: tuple[int, int] | None = None
+        self._subcarriers: list[int] | None = None
+        self._subcarriers_by_pair: dict[tuple[int, int], list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment calibration
+    # ------------------------------------------------------------------
+
+    def calibrate(self, sessions: list[CaptureSession]) -> "WiMi":
+        """Fix the antenna pair and good subcarriers for a deployment.
+
+        The paper performs both choices once per deployment (Sec. III-B
+        names subcarriers 5, 20, 23, 24; Sec. III-F picks the most stable
+        antenna pair) and then reuses them for every measurement.  ``fit``
+        calls this automatically on the training sessions.
+        """
+        if not sessions:
+            raise ValueError("need at least one calibration session")
+        ranked = self._rank_pairs(sessions)
+
+        # The coarse (smallest-lever) pair is reserved for gamma
+        # resolution: it is "stable" in the variance sense but carries the
+        # least material signal, so it must not crowd out a precise pair.
+        self._coarse_pair = self._find_coarse_pair(sessions[0], None)
+        precise = [p for p in ranked if p != self._coarse_pair] or ranked
+
+        if self.config.antenna_pair is not None:
+            pair = self.config.antenna_pair
+            if max(pair) >= sessions[0].num_antennas:
+                raise ValueError(
+                    f"configured pair {pair} needs more antennas than the "
+                    f"session's {sessions[0].num_antennas}"
+                )
+        else:
+            pair = precise[0]
+        self._pair = pair
+
+        # Feature pairs: the main pair, then the next most stable precise
+        # ones.
+        wanted = min(self.config.num_feature_pairs, len(precise))
+        feature_pairs = [pair]
+        for candidate in precise:
+            if len(feature_pairs) >= wanted:
+                break
+            if candidate != pair:
+                feature_pairs.append(candidate)
+        self._feature_pairs = feature_pairs
+
+        self._subcarriers_by_pair = {}
+        for fp in feature_pairs:
+            if self.config.subcarrier_override is not None:
+                self._subcarriers_by_pair[fp] = list(
+                    self.config.subcarrier_override
+                )
+            else:
+                self._subcarriers_by_pair[fp] = (
+                    self.subcarrier_selector.select_pooled(
+                        sessions, fp, count=self.config.num_good_subcarriers
+                    )
+                )
+        self._subcarriers = self._subcarriers_by_pair[pair]
+        return self
+
+    def _rank_pairs(self, sessions: list[CaptureSession]) -> list[tuple[int, int]]:
+        """All antenna pairs, most stable first (pooled over sessions)."""
+        if sessions[0].num_antennas < 2:
+            raise ValueError("need at least two receive antennas")
+        scores: dict[tuple[int, int], float] = {}
+        probe = sessions[: min(len(sessions), 5)]
+        for session in probe:
+            for stat in self.pair_selector.rank(session):
+                scores[stat.pair] = scores.get(stat.pair, 0.0) + stat.score
+        return sorted(scores, key=lambda p: scores[p])
+
+    def _find_coarse_pair(
+        self, session: CaptureSession, main_pair: tuple[int, int] | None
+    ) -> tuple[int, int] | None:
+        """The smallest-lever pair, used for coarse gamma resolution.
+
+        ``-ln DeltaPsi`` scales with the pair's path-length-difference
+        lever for any material, so the pair with the smallest aggregate
+        ``|N|`` is the smallest-lever one -- identifiable from a single
+        session without knowing the geometry.
+        """
+        if not self.config.use_coarse_pair or session.num_antennas < 3:
+            return None
+        candidates = [
+            p
+            for p in self.pair_selector.all_pairs(session.baseline)
+            if main_pair is None or p != main_pair
+        ]
+        best_pair = None
+        best_n = float("inf")
+        for pair in candidates:
+            _, n_all = self.extractor.pair_observables(session, pair)
+            magnitude = abs(float(np.mean(n_all)))
+            if magnitude < best_n:
+                best_n = magnitude
+                best_pair = pair
+        return best_pair
+
+    @property
+    def calibrated_coarse_pair(self) -> tuple[int, int] | None:
+        """Small-lever pair fixed by :meth:`calibrate` (None before)."""
+        return self._coarse_pair
+
+    @property
+    def calibrated_pair(self) -> tuple[int, int] | None:
+        """Antenna pair fixed by :meth:`calibrate` (None before)."""
+        return self._pair
+
+    @property
+    def calibrated_subcarriers(self) -> list[int] | None:
+        """Subcarriers fixed by :meth:`calibrate` (None before)."""
+        return list(self._subcarriers) if self._subcarriers else None
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+
+    def choose_pair(self, session: CaptureSession) -> tuple[int, int]:
+        """The antenna pair for a session (calibrated, configured, or
+        per-session best)."""
+        if self._pair is not None:
+            return self._pair
+        if self.config.antenna_pair is not None:
+            i, j = self.config.antenna_pair
+            if max(i, j) >= session.num_antennas:
+                raise ValueError(
+                    f"configured pair {self.config.antenna_pair} needs more "
+                    f"antennas than the session's {session.num_antennas}"
+                )
+            return (i, j)
+        return self.pair_selector.best_pair(session)
+
+    def choose_subcarriers(
+        self, session: CaptureSession, pair: tuple[int, int]
+    ) -> list[int]:
+        """The subcarriers for a session (calibrated, override, or
+        per-session selection)."""
+        if self._subcarriers is not None:
+            return list(self._subcarriers)
+        if self.config.subcarrier_override is not None:
+            return list(self.config.subcarrier_override)
+        return self.subcarrier_selector.select(
+            session.baseline,
+            session.target,
+            pair,
+            count=self.config.num_good_subcarriers,
+        )
+
+    def _session_pairs(
+        self, session: CaptureSession
+    ) -> list[tuple[int, int]]:
+        """The feature pairs to extract for a session."""
+        if self._feature_pairs is not None:
+            return self._feature_pairs
+        # Uncalibrated ad-hoc use: just the main pair.
+        return [self.choose_pair(session)]
+
+    def extract(
+        self, session: CaptureSession, true_omega: float | None = None
+    ) -> SessionFeatures:
+        """Run the full pre-processing + feature chain on one session."""
+        pairs = self._session_pairs(session)
+        coarse = self._coarse_pair
+        if (
+            coarse is None
+            and self.config.use_coarse_pair
+            and session.num_antennas >= 3
+        ):
+            coarse = self._find_coarse_pair(session, pairs[0])
+        measurements = []
+        for pair in pairs:
+            subcarriers = self._subcarriers_by_pair.get(
+                pair
+            ) or self.choose_subcarriers(session, pair)
+            measurements.append(
+                self.extractor.measure(
+                    session,
+                    pair,
+                    subcarriers,
+                    coarse_pair=coarse,
+                    true_omega=true_omega,
+                    include_coarse_feature=self.config.include_coarse_feature,
+                )
+            )
+        return SessionFeatures(
+            measurements=measurements, material_name=session.material_name
+        )
+
+    def extract_labelled(self, session: CaptureSession) -> SessionFeatures:
+        """Extract with gamma resolved from the session's known label.
+
+        Training sessions are labelled, so the phase-wrap integer can be
+        fixed exactly from the material's ground-truth Omega-bar -- this
+        is how the paper's feature database is built.
+        """
+        true_omega = None
+        refs = self.extractor.reference_omegas
+        if isinstance(refs, dict):
+            true_omega = refs.get(session.material_name)
+        return self.extract(session, true_omega=true_omega)
+
+    def _reference_envelope(self) -> tuple[float, float]:
+        """Generous physical envelope of the reference Omega-bar values."""
+        refs = self.extractor.reference_omegas
+        values = list(refs.values()) if isinstance(refs, dict) else list(refs)
+        return (min(values) * 0.4, max(values) * 2.0)
+
+    # ------------------------------------------------------------------
+    # Training / identification
+    # ------------------------------------------------------------------
+
+    def fit(self, sessions: list[CaptureSession]) -> "WiMi":
+        """Calibrate on the training sessions, extract their features and
+        train the classifier."""
+        if not sessions:
+            raise ValueError("need at least one training session")
+        self.calibrate(sessions)
+        self.database = MaterialDatabase()
+        for session in sessions:
+            measurement = self.extract_labelled(session)
+            self.database.add(measurement)
+        self._classifier = DatabaseClassifier(
+            kind=self.config.classifier,
+            svm_c=self.config.svm_c,
+            knn_k=self.config.knn_k,
+        ).fit(self.database)
+        return self
+
+    def fit_measurements(
+        self, measurements: list[SessionFeatures] | list[FeatureMeasurement]
+    ) -> "WiMi":
+        """Train from pre-extracted measurements (lets experiments reuse
+        feature extraction across classifier configurations)."""
+        if not measurements:
+            raise ValueError("need at least one measurement")
+        self.database = MaterialDatabase()
+        for measurement in measurements:
+            self.database.add(measurement)
+        self._classifier = DatabaseClassifier(
+            kind=self.config.classifier,
+            svm_c=self.config.svm_c,
+            knn_k=self.config.knn_k,
+        ).fit(self.database)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._classifier is not None
+
+    def identify(self, session: CaptureSession) -> str:
+        """Identify the material of one test session."""
+        if self._classifier is None:
+            raise RuntimeError("WiMi is not fitted; call fit() first")
+        return self.identify_measurement(self.extract(session))
+
+    def identify_measurement(
+        self, measurement: SessionFeatures | FeatureMeasurement
+    ) -> str:
+        """Identify from a pre-extracted measurement."""
+        if self._classifier is None:
+            raise RuntimeError("WiMi is not fitted; call fit() first")
+        return self._classifier.resolve_branch_and_predict(
+            measurement,
+            max_gamma=self.config.max_gamma,
+            envelope=self._reference_envelope(),
+        )
+
+    def identify_with_confidence(
+        self, session: CaptureSession
+    ) -> tuple[str, float]:
+        """Identify a session and report how decisive the match is.
+
+        The confidence is ``1 - d_nearest / d_second`` over the scaled
+        database centroids: near 1 for a clean single-material target,
+        near 0 for a target between two materials (e.g. a mixture) or an
+        out-of-catalog liquid.  A deployment can threshold it to reject
+        targets WiMi was never trained on.
+        """
+        if self._classifier is None:
+            raise RuntimeError("WiMi is not fitted; call fit() first")
+        features = self.extract(session)
+        name = self._classifier.resolve_branch_and_predict(
+            features,
+            max_gamma=self.config.max_gamma,
+            envelope=self._reference_envelope(),
+        )
+        return name, self._classifier.confidence(features.vector())
+
+    def predict_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        """Identify a batch of raw feature vectors."""
+        if self._classifier is None:
+            raise RuntimeError("WiMi is not fitted; call fit() first")
+        return self._classifier.predict(vectors)

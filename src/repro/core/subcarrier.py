@@ -1,0 +1,119 @@
+"""Good-subcarrier selection (paper Eq. 7, Fig. 6).
+
+Different subcarriers of a 20 MHz channel are affected differently by
+multipath (frequency-selective fading).  At subcarriers where reflections
+are relatively weak, the inter-antenna phase difference barely moves across
+packets; where reflections are strong, temporal fading makes it wander.
+The paper therefore ranks subcarriers by the variance of the
+phase-difference series across ``M`` packets (Eq. 7) and keeps the ``P``
+most stable ("good") ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csi.model import CsiTrace
+from repro.csi.subcarriers import validate_subcarrier_selection
+from repro.dsp.stats import phase_difference_variance
+from repro.core.phase import PhaseCalibrator
+
+
+class SubcarrierSelector:
+    """Ranks report subcarriers by phase-difference stability."""
+
+    def __init__(self, calibrator: PhaseCalibrator | None = None):
+        self.calibrator = calibrator if calibrator is not None else PhaseCalibrator()
+
+    def variances(
+        self, trace: CsiTrace, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """Eq. 7 per-subcarrier variance of the phase-difference series.
+
+        Returns shape ``(K,)``; the Fig. 6 curve.
+        """
+        diffs = self.calibrator.phase_difference(trace, pair)
+        if diffs.shape[0] < 2:
+            raise ValueError(
+                "need at least 2 packets to estimate variance, got "
+                f"{diffs.shape[0]}"
+            )
+        return np.array(
+            [phase_difference_variance(diffs[:, k]) for k in range(diffs.shape[1])]
+        )
+
+    def combined_variances(
+        self,
+        baseline: CsiTrace,
+        target: CsiTrace,
+        pair: tuple[int, int],
+    ) -> np.ndarray:
+        """Variance pooled over the session's two traces.
+
+        A subcarrier is only useful if it is stable both before and after
+        the liquid is poured, so the selection score sums both variances.
+        """
+        return self.variances(baseline, pair) + self.variances(target, pair)
+
+    def select(
+        self,
+        baseline: CsiTrace,
+        target: CsiTrace,
+        pair: tuple[int, int],
+        count: int = 4,
+    ) -> list[int]:
+        """Positions of the ``count`` most stable subcarriers (ascending
+        variance order)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        scores = self.combined_variances(baseline, target, pair)
+        count = min(count, scores.size)
+        best = np.argsort(scores, kind="stable")[:count]
+        return validate_subcarrier_selection(sorted(best.tolist()), scores.size)
+
+    def rank_pooled(
+        self,
+        sessions,
+        pair: tuple[int, int],
+    ) -> list[int]:
+        """All subcarrier positions ordered best (lowest variance) first.
+
+        Pools Eq. 7 variances over ``sessions`` like :meth:`select_pooled`
+        but returns the complete ranking instead of the top few.
+        """
+        if not sessions:
+            raise ValueError("need at least one session to pool over")
+        total: np.ndarray | None = None
+        for session in sessions:
+            scores = self.combined_variances(
+                session.baseline, session.target, pair
+            )
+            total = scores if total is None else total + scores
+        return np.argsort(total, kind="stable").tolist()
+
+    def select_pooled(
+        self,
+        sessions,
+        pair: tuple[int, int],
+        count: int = 4,
+    ) -> list[int]:
+        """Deployment-level selection: pool Eq. 7 variances over sessions.
+
+        The paper selects good subcarriers once per deployment (Fig. 6
+        names subcarriers 5, 20, 23, 24) and reuses them; pooling the
+        variance scores over the calibration sessions reproduces that.
+        ``sessions`` is a list of :class:`repro.csi.collector.CaptureSession`.
+        """
+        if not sessions:
+            raise ValueError("need at least one session to pool over")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        total: np.ndarray | None = None
+        for session in sessions:
+            scores = self.combined_variances(
+                session.baseline, session.target, pair
+            )
+            total = scores if total is None else total + scores
+        count = min(count, total.size)
+        best = np.argsort(total, kind="stable")[:count]
+        return validate_subcarrier_selection(sorted(best.tolist()), total.size)

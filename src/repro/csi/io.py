@@ -1,0 +1,150 @@
+"""CSI trace serialisation.
+
+A real WiMi deployment would log Intel 5300 CSI to disk and process it
+offline; this module provides the equivalent for simulated traces and for
+interoperating with external captures:
+
+* a compact binary format (``.wimi``) closely modelled on the CSI Tool's
+  log layout — per-packet records with a little-endian header and int16
+  I/Q samples under a per-packet scale,
+* NumPy ``.npz`` round-tripping for bulk storage of whole sessions.
+
+The binary format is intentionally lossy in the same way the hardware is
+(16-bit I/Q under automatic gain), so quantities computed from a reloaded
+trace match the original to CSI-Tool-like precision.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.csi.collector import CaptureSession
+from repro.csi.model import CsiPacket, CsiTrace
+
+#: Magic bytes and version of the binary trace format.
+_MAGIC = b"WIMI"
+_VERSION = 1
+
+#: Per-packet record header: timestamp (f64), sequence (u32),
+#: num_subcarriers (u16), num_antennas (u16), scale (f64).
+_PACKET_HEADER = struct.Struct("<dIHHd")
+
+#: File header: magic, version (u16), packet count (u32), carrier (f64).
+_FILE_HEADER = struct.Struct("<4sHId")
+
+
+def save_trace(trace: CsiTrace, path: str | Path) -> None:
+    """Write a trace to a ``.wimi`` binary log.
+
+    I/Q components are stored as int16 under a per-packet scale chosen so
+    the largest component uses the full range (the CSI Tool's automatic
+    gain, at 16 instead of 8 bits).
+    """
+    path = Path(path)
+    with path.open("wb") as f:
+        f.write(
+            _FILE_HEADER.pack(_MAGIC, _VERSION, len(trace), trace.carrier_hz)
+        )
+        for packet in trace:
+            csi = packet.csi
+            peak = max(
+                float(np.abs(csi.real).max(initial=0.0)),
+                float(np.abs(csi.imag).max(initial=0.0)),
+            )
+            scale = peak / 32767.0 if peak > 0 else 1.0
+            f.write(
+                _PACKET_HEADER.pack(
+                    packet.timestamp_s,
+                    packet.sequence,
+                    packet.num_subcarriers,
+                    packet.num_antennas,
+                    scale,
+                )
+            )
+            quantised = np.empty(
+                (packet.num_subcarriers, packet.num_antennas, 2),
+                dtype=np.int16,
+            )
+            quantised[:, :, 0] = np.round(csi.real / scale)
+            quantised[:, :, 1] = np.round(csi.imag / scale)
+            f.write(quantised.tobytes())
+
+
+def load_trace(path: str | Path) -> CsiTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _FILE_HEADER.size:
+        raise ValueError(f"{path}: truncated file header")
+    magic, version, count, carrier = _FILE_HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"{path}: not a WiMi trace (bad magic {magic!r})")
+    if version != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {version} "
+            f"(expected {_VERSION})"
+        )
+    offset = _FILE_HEADER.size
+    packets: list[CsiPacket] = []
+    for _ in range(count):
+        if offset + _PACKET_HEADER.size > len(data):
+            raise ValueError(f"{path}: truncated packet header")
+        timestamp, sequence, num_sc, num_ant, scale = _PACKET_HEADER.unpack_from(
+            data, offset
+        )
+        offset += _PACKET_HEADER.size
+        body = num_sc * num_ant * 2 * 2  # int16 I/Q
+        if offset + body > len(data):
+            raise ValueError(f"{path}: truncated packet body")
+        raw = np.frombuffer(
+            data, dtype=np.int16, count=num_sc * num_ant * 2, offset=offset
+        ).reshape(num_sc, num_ant, 2)
+        offset += body
+        csi = (raw[:, :, 0].astype(float) + 1j * raw[:, :, 1]) * scale
+        packets.append(
+            CsiPacket(csi=csi, timestamp_s=timestamp, sequence=sequence)
+        )
+    return CsiTrace(packets=packets, carrier_hz=carrier, label=path.stem)
+
+
+def save_session(session: CaptureSession, path: str | Path) -> None:
+    """Write a paired session (baseline + target) to a ``.npz`` archive."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        baseline=session.baseline.matrix(),
+        target=session.target.matrix(),
+        baseline_timestamps=session.baseline.timestamps(),
+        target_timestamps=session.target.timestamps(),
+        carrier_hz=np.array([session.baseline.carrier_hz]),
+        material_name=np.array([session.material_name]),
+    )
+
+
+def load_session(path: str | Path) -> CaptureSession:
+    """Read a session written by :func:`save_session`.
+
+    The scene metadata is not serialised (it describes the simulator, not
+    the measurement); the loaded session carries a default scene.
+    """
+    from repro.csi.simulator import SimulationScene
+
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        required = {"baseline", "target", "carrier_hz", "material_name"}
+        missing = required - set(archive.files)
+        if missing:
+            raise ValueError(f"{path}: missing arrays {sorted(missing)}")
+        carrier = float(archive["carrier_hz"][0])
+        baseline = CsiTrace.from_matrix(archive["baseline"], carrier_hz=carrier)
+        target = CsiTrace.from_matrix(archive["target"], carrier_hz=carrier)
+        material = str(archive["material_name"][0])
+    return CaptureSession(
+        baseline=baseline,
+        target=target,
+        material_name=material,
+        scene=SimulationScene(),
+    )

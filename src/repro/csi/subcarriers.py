@@ -1,0 +1,81 @@
+"""802.11n subcarrier layout and the Intel 5300 grouped report.
+
+A 20 MHz 802.11n channel has 64 OFDM subcarriers spaced 312.5 kHz apart, of
+which 56 carry data/pilots (indices -28..-1, 1..28).  The Intel 5300 CSI
+Tool reports channel state for 30 of them ("grouping", IEEE 802.11n-2009
+section 7.3.1.27): every second subcarrier plus the band edges.
+
+The paper indexes subcarriers 1..30 in its figures (e.g. "good" subcarriers
+5, 20, 23, 24 in Fig. 6); those are positions in this grouped report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 20 MHz OFDM subcarrier spacing (Hz).
+SUBCARRIER_SPACING_HZ = 312.5e3
+
+#: Number of subcarriers in the Intel 5300 grouped CSI report.
+INTEL5300_NUM_SUBCARRIERS = 30
+
+#: Grouped subcarrier indices reported by the Intel 5300 for 20 MHz
+#: channels (logical OFDM indices, DC = 0).  From the CSI Tool docs.
+_INTEL5300_INDICES_20MHZ: tuple[int, ...] = (
+    -28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+    1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28,
+)
+
+
+def intel5300_subcarrier_indices() -> np.ndarray:
+    """Logical OFDM indices of the 30 reported subcarriers."""
+    return np.array(_INTEL5300_INDICES_20MHZ, dtype=int)
+
+
+def subcarrier_frequencies(
+    carrier_hz: float,
+    indices: np.ndarray | None = None,
+    spacing_hz: float = SUBCARRIER_SPACING_HZ,
+) -> np.ndarray:
+    """Absolute RF frequency of each reported subcarrier.
+
+    Args:
+        carrier_hz: Channel centre frequency (e.g. 5.32 GHz).
+        indices: Logical subcarrier indices; defaults to the Intel 5300
+            grouped report.
+        spacing_hz: Subcarrier spacing.
+
+    Returns:
+        Array of absolute frequencies in Hz, one per reported subcarrier.
+    """
+    if carrier_hz <= 0:
+        raise ValueError(f"carrier frequency must be positive, got {carrier_hz}")
+    if spacing_hz <= 0:
+        raise ValueError(f"subcarrier spacing must be positive, got {spacing_hz}")
+    if indices is None:
+        indices = intel5300_subcarrier_indices()
+    indices = np.asarray(indices, dtype=float)
+    return carrier_hz + indices * spacing_hz
+
+
+def validate_subcarrier_selection(
+    selection: list[int] | tuple[int, ...] | np.ndarray,
+    num_subcarriers: int = INTEL5300_NUM_SUBCARRIERS,
+) -> list[int]:
+    """Check a list of report positions (0-based) and return it as a list.
+
+    Raises ``ValueError`` on duplicates or out-of-range positions; used by
+    the pipeline wherever a user supplies explicit subcarrier choices.
+    """
+    positions = [int(s) for s in np.asarray(selection).ravel()]
+    if not positions:
+        raise ValueError("subcarrier selection must not be empty")
+    if len(set(positions)) != len(positions):
+        raise ValueError(f"duplicate subcarrier positions in {positions}")
+    for pos in positions:
+        if not 0 <= pos < num_subcarriers:
+            raise ValueError(
+                f"subcarrier position {pos} out of range "
+                f"[0, {num_subcarriers})"
+            )
+    return positions

@@ -1,0 +1,69 @@
+"""Signal-processing substrate, implemented from scratch.
+
+The paper's amplitude denoiser needs per-scale wavelet coefficients and an
+undecimated (stationary) transform; no wavelet library is available
+offline, so :mod:`repro.dsp.wavelet` implements orthogonal wavelet filter
+banks (Haar, Daubechies, Symlets), the decimated DWT and the undecimated
+SWT with exact reconstruction.  :mod:`repro.dsp.wavelet_denoise` builds the
+paper's Eq. 8-13 spatially-selective correlation denoiser on top.
+:mod:`repro.dsp.filters` provides the three baseline filters of Fig. 7
+(median, sliding mean, Butterworth -- including our own bilinear-transform
+Butterworth design).  :mod:`repro.dsp.stats` has the circular and robust
+statistics used throughout (angular spread, MAD).
+"""
+
+from repro.dsp.filters import (
+    butter_lowpass_coefficients,
+    butterworth_filter,
+    lfilter,
+    filtfilt,
+    median_filter,
+    sliding_mean_filter,
+)
+from repro.dsp.stats import (
+    angular_spread_deg,
+    circular_mean,
+    circular_std,
+    circular_variance,
+    mad,
+    robust_sigma,
+)
+from repro.dsp.wavelet import (
+    Wavelet,
+    WaveletDecomposition,
+    get_wavelet,
+    iswt,
+    swt,
+    wavedec,
+    waverec,
+)
+from repro.dsp.wavelet_denoise import (
+    SpatiallySelectiveDenoiser,
+    remove_outliers,
+    wavelet_denoise,
+)
+
+__all__ = [
+    "SpatiallySelectiveDenoiser",
+    "Wavelet",
+    "WaveletDecomposition",
+    "angular_spread_deg",
+    "butter_lowpass_coefficients",
+    "butterworth_filter",
+    "circular_mean",
+    "circular_std",
+    "circular_variance",
+    "filtfilt",
+    "get_wavelet",
+    "iswt",
+    "lfilter",
+    "mad",
+    "median_filter",
+    "remove_outliers",
+    "robust_sigma",
+    "sliding_mean_filter",
+    "swt",
+    "wavedec",
+    "wavelet_denoise",
+    "waverec",
+]

@@ -1,0 +1,148 @@
+"""Classical denoising filters -- the Fig. 7 baselines.
+
+The paper compares its wavelet denoiser against three "general filter
+methods": a median filter, a sliding (moving-average) filter and a
+Butterworth lowpass.  All three are implemented here from scratch,
+including the Butterworth design itself (analog prototype poles + bilinear
+transform), so the comparison does not depend on any external DSP library.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+
+def _check_signal(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if x.size == 0:
+        raise ValueError("expected a non-empty signal")
+    return x
+
+
+def _check_window(window: int, n: int) -> int:
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window % 2 == 0:
+        raise ValueError(f"window must be odd, got {window}")
+    return min(window, n if n % 2 == 1 else n - 1) if n > 1 else 1
+
+
+def median_filter(x: np.ndarray, window: int = 5) -> np.ndarray:
+    """Sliding-window median with edge replication."""
+    x = _check_signal(x)
+    window = _check_window(window, x.size)
+    half = window // 2
+    padded = np.concatenate([np.full(half, x[0]), x, np.full(half, x[-1])])
+    out = np.empty_like(x)
+    for i in range(x.size):
+        out[i] = np.median(padded[i : i + window])
+    return out
+
+
+def sliding_mean_filter(x: np.ndarray, window: int = 5) -> np.ndarray:
+    """Sliding-window mean ("slide filter") with edge replication."""
+    x = _check_signal(x)
+    window = _check_window(window, x.size)
+    half = window // 2
+    padded = np.concatenate([np.full(half, x[0]), x, np.full(half, x[-1])])
+    kernel = np.full(window, 1.0 / window)
+    return np.convolve(padded, kernel, mode="valid")
+
+
+# ----------------------------------------------------------------------
+# Butterworth design (from scratch)
+# ----------------------------------------------------------------------
+
+
+def butter_lowpass_coefficients(
+    order: int, cutoff_normalized: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Digital Butterworth lowpass via bilinear transform.
+
+    Args:
+        order: Filter order (>= 1).
+        cutoff_normalized: Cutoff as a fraction of the Nyquist frequency,
+            strictly inside (0, 1).
+
+    Returns:
+        ``(b, a)`` transfer-function coefficients with ``a[0] == 1``.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if not 0.0 < cutoff_normalized < 1.0:
+        raise ValueError(
+            f"cutoff must be in (0, 1) of Nyquist, got {cutoff_normalized}"
+        )
+    # Pre-warped analog cutoff for a sample period of 2 (bilinear with T=2).
+    warped = math.tan(math.pi * cutoff_normalized / 2.0)
+    # Analog Butterworth prototype poles on the unit circle, left half-plane.
+    poles_analog = [
+        warped
+        * cmath.exp(1j * math.pi * (2.0 * k + order + 1.0) / (2.0 * order))
+        for k in range(order)
+    ]
+    # Bilinear transform: z = (1 + s) / (1 - s).
+    poles_digital = [(1.0 + p) / (1.0 - p) for p in poles_analog]
+    gain = np.prod([warped / (1.0 - p) for p in poles_analog])
+    # Zeros of a lowpass land at z = -1 (order of them).
+    b = np.real(np.poly(np.full(order, -1.0 + 0j))) * np.real(gain)
+    a = np.real(np.poly(np.array(poles_digital)))
+    # Normalise DC gain to exactly 1 (kills residual rounding).
+    dc = np.sum(b) / np.sum(a)
+    b = b / dc
+    return b, a
+
+
+def lfilter(b: np.ndarray, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Direct-form II transposed IIR filtering (single pass)."""
+    b = np.asarray(b, dtype=float)
+    a = np.asarray(a, dtype=float)
+    x = _check_signal(x)
+    if a.size == 0 or a[0] == 0:
+        raise ValueError("a[0] must be non-zero")
+    b = b / a[0]
+    a = a / a[0]
+    n_state = max(b.size, a.size) - 1
+    b_pad = np.concatenate([b, np.zeros(n_state + 1 - b.size)])
+    a_pad = np.concatenate([a, np.zeros(n_state + 1 - a.size)])
+    state = np.zeros(n_state)
+    out = np.empty_like(x)
+    for i, sample in enumerate(x):
+        y = b_pad[0] * sample + (state[0] if n_state else 0.0)
+        for s in range(n_state - 1):
+            state[s] = b_pad[s + 1] * sample + state[s + 1] - a_pad[s + 1] * y
+        if n_state:
+            state[n_state - 1] = b_pad[n_state] * sample - a_pad[n_state] * y
+        out[i] = y
+    return out
+
+
+def filtfilt(b: np.ndarray, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Zero-phase filtering: forward pass, backward pass, edge padding."""
+    x = _check_signal(x)
+    pad = min(12 * (max(len(np.atleast_1d(b)), len(np.atleast_1d(a))) - 1), x.size - 1)
+    if pad > 0:
+        # Odd reflection keeps the signal level continuous at the edges.
+        front = 2.0 * x[0] - x[pad:0:-1]
+        back = 2.0 * x[-1] - x[-2 : -pad - 2 : -1]
+        extended = np.concatenate([front, x, back])
+    else:
+        extended = x
+    forward = lfilter(b, a, extended)
+    backward = lfilter(b, a, forward[::-1])[::-1]
+    if pad > 0:
+        return backward[pad:-pad]
+    return backward
+
+
+def butterworth_filter(
+    x: np.ndarray, cutoff_normalized: float = 0.25, order: int = 3
+) -> np.ndarray:
+    """Zero-phase Butterworth lowpass -- the Fig. 7(c) baseline."""
+    b, a = butter_lowpass_coefficients(order, cutoff_normalized)
+    return filtfilt(b, a, x)

@@ -1,0 +1,179 @@
+"""Spatially-selective wavelet denoiser (paper Sec. III-C, Eq. 8-13).
+
+The paper's amplitude denoiser rests on one observation: across wavelet
+scales, *useful signal* coefficients are strongly correlated while
+*impulse-noise* coefficients are not (Eq. 8-10 prove the noise power in a
+scale decays with the scale).  Multiplying the coefficients of adjacent
+scales therefore amplifies signal locations relative to noise -- the
+spatially-selective filtering of Xu, Weaver, Healy & Lu (1994), the
+paper's reference [24].
+
+Algorithm, per wavelet scale ``l`` (undecimated transform so every scale
+has full length):
+
+1. ``Corr_l = W_l * W_{l+1}``                                  (Eq. 11)
+2. ``NCorr_l = Corr_l * sqrt(PW_l / PCorr_l)``                 (Eq. 12)
+3. positions with ``|NCorr_l| >= |W_l|`` are signal: move those
+   coefficients into the output and zero them in the work buffer (Eq. 13;
+   note the paper's printed equation and its prose contradict each other
+   -- we implement the original reference's convention, where *high
+   cross-scale correlation marks signal to keep*)
+4. repeat 1-3 until the residual power ``PW_l`` drops to the noise
+   threshold estimated by the robust median rule (reference [24]).
+
+Everything left in the work buffers when iteration stops is treated as
+noise and discarded; the inverse transform of the extracted coefficients
+is the denoised signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.stats import robust_sigma
+from repro.dsp.wavelet import Wavelet, get_wavelet, iswt, max_swt_level, swt
+
+
+def remove_outliers(
+    x: np.ndarray, num_sigmas: float = 3.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Paper's first denoising step: 3-sigma outlier rejection.
+
+    Samples outside ``[mu - k sigma, mu + k sigma]`` are replaced by the
+    median of the surviving samples (the paper "filters out" the outliers;
+    replacing keeps the series aligned in time, which the wavelet stage
+    needs).
+
+    Returns:
+        ``(cleaned, outlier_mask)``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+    if x.size == 0:
+        raise ValueError("expected a non-empty signal")
+    if num_sigmas <= 0:
+        raise ValueError(f"num_sigmas must be positive, got {num_sigmas}")
+    mu = float(np.mean(x))
+    sigma = float(np.std(x))
+    if sigma == 0.0:
+        return x.copy(), np.zeros(x.shape, dtype=bool)
+    mask = np.abs(x - mu) > num_sigmas * sigma
+    cleaned = x.copy()
+    if mask.any():
+        survivors = x[~mask]
+        fill = float(np.median(survivors)) if survivors.size else mu
+        cleaned[mask] = fill
+    return cleaned, mask
+
+
+@dataclass
+class SpatiallySelectiveDenoiser:
+    """The paper's two-step amplitude denoiser as a reusable object.
+
+    Attributes:
+        wavelet_name: Filter bank to use (default db2 -- short enough for
+            the paper's 20-packet windows).
+        levels: SWT depth (clamped to what the signal length allows).
+        outlier_sigmas: Threshold of the outlier-rejection pre-step.
+        max_iterations: Safety bound on the extract-and-repeat loop.
+    """
+
+    wavelet_name: str = "db2"
+    levels: int = 3
+    outlier_sigmas: float = 3.0
+    max_iterations: int = 20
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ValueError(f"levels must be >= 1, got {self.levels}")
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        # Fail fast on unknown wavelet names.
+        self._wavelet: Wavelet = get_wavelet(self.wavelet_name)
+
+    # ------------------------------------------------------------------
+
+    def denoise(self, x: np.ndarray) -> np.ndarray:
+        """Full pipeline: outlier rejection, then correlation filtering."""
+        cleaned, _ = remove_outliers(x, self.outlier_sigmas)
+        return self.correlation_filter(cleaned)
+
+    def correlation_filter(self, x: np.ndarray) -> np.ndarray:
+        """Eq. 8-13 cross-scale correlation filtering (no outlier step)."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 1:
+            raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+        limit = max_swt_level(x.size, self._wavelet)
+        if limit == 0:
+            # Too short to transform: nothing to do.
+            return x.copy()
+        levels = min(self.levels, limit)
+        approx, details = swt(x, self._wavelet, levels)
+        new_details = self._filter_details(details)
+        return iswt(approx, new_details, self._wavelet)
+
+    # ------------------------------------------------------------------
+
+    def _filter_details(self, details: list[np.ndarray]) -> list[np.ndarray]:
+        """Extract signal coefficients scale by scale.
+
+        ``details[l]`` is correlated with ``details[l+1]``; the coarsest
+        scale has no neighbour and pairs with itself (plain magnitude
+        comparison), which reduces to keeping its strongest coefficients.
+        """
+        work = [d.copy() for d in details]
+        out = [np.zeros_like(d) for d in details]
+        num_levels = len(details)
+        for l in range(num_levels):
+            neighbour_idx = l + 1 if l + 1 < num_levels else l
+            threshold = self._noise_threshold(details[l])
+            for _ in range(self.max_iterations):
+                power = float(np.sum(work[l] ** 2))
+                if power <= threshold:
+                    break
+                mask = self._signal_mask(work[l], work[neighbour_idx])
+                if not mask.any():
+                    break
+                out[l][mask] += work[l][mask]
+                work[l][mask] = 0.0
+        return out
+
+    @staticmethod
+    def _signal_mask(w_l: np.ndarray, w_next: np.ndarray) -> np.ndarray:
+        """Positions where cross-scale correlation dominates (signal)."""
+        corr = w_l * w_next  # Eq. 11
+        p_w = float(np.sum(w_l ** 2))
+        p_corr = float(np.sum(corr ** 2))
+        if p_corr == 0.0 or p_w == 0.0:
+            return np.zeros(w_l.shape, dtype=bool)
+        ncorr = corr * np.sqrt(p_w / p_corr)  # Eq. 12
+        return np.abs(ncorr) >= np.abs(w_l)  # Eq. 13 (reference convention)
+
+    @staticmethod
+    def _noise_threshold(detail: np.ndarray) -> float:
+        """Residual-power stopping threshold from the robust median rule.
+
+        The noise std-dev in a detail band is estimated as
+        ``MAD / 0.6745``; iteration stops once the remaining band power is
+        what pure noise of that level would carry.
+        """
+        sigma = robust_sigma(detail)
+        return detail.size * sigma * sigma
+
+
+def wavelet_denoise(
+    x: np.ndarray,
+    wavelet_name: str = "db2",
+    levels: int = 3,
+    outlier_sigmas: float = 3.0,
+) -> np.ndarray:
+    """Convenience wrapper around :class:`SpatiallySelectiveDenoiser`."""
+    denoiser = SpatiallySelectiveDenoiser(
+        wavelet_name=wavelet_name, levels=levels, outlier_sigmas=outlier_sigmas
+    )
+    return denoiser.denoise(x)

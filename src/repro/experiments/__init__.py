@@ -1,0 +1,30 @@
+"""Evaluation harness: one function per paper figure.
+
+:mod:`repro.experiments.datasets` builds the standard scenes and collects
+paired capture sessions; :mod:`repro.experiments.runner` runs the
+train/identify loop and scores it; :mod:`repro.experiments.figures` has
+one entry point per evaluation figure of the paper (Fig. 2-21);
+:mod:`repro.experiments.reporting` renders the same rows/series the paper
+reports as text.
+"""
+
+from repro.experiments.datasets import (
+    DEFAULT_LATERAL_OFFSET,
+    collect_dataset,
+    paper_liquids,
+    split_dataset,
+    standard_scene,
+    standard_target,
+)
+from repro.experiments.runner import ExperimentResult, run_identification
+
+__all__ = [
+    "DEFAULT_LATERAL_OFFSET",
+    "ExperimentResult",
+    "collect_dataset",
+    "paper_liquids",
+    "run_identification",
+    "split_dataset",
+    "standard_scene",
+    "standard_target",
+]

@@ -1,0 +1,114 @@
+"""Standard scenes and dataset collection for the evaluation.
+
+The paper's testbed (Section IV): router and laptop 2 m apart, beaker on
+the LoS, three environments, 10 liquids, 20 repetitions per liquid, 20
+packets per measurement.  These helpers reproduce that protocol with the
+simulator and are shared by every figure's experiment and benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.channel.environment import make_environment
+from repro.channel.geometry import CylinderTarget, LinkGeometry
+from repro.channel.materials import Material, MaterialCatalog, default_catalog
+from repro.channel.materials import PAPER_LIQUID_ORDER
+from repro.csi.collector import DataCollector, SessionConfig
+from repro.csi.impairments import HardwareProfile
+from repro.csi.simulator import SimulationScene
+
+#: The beaker never sits *exactly* on the LoS axis in a real deployment;
+#: a couple of centimetres of lateral offset is what gives the receive
+#: antennas their different path lengths ``D_i`` through the liquid
+#: (Eq. 14-19 need ``D1 != D2``).
+DEFAULT_LATERAL_OFFSET = 0.020
+
+#: Paper defaults (Section IV / V).
+DEFAULT_REPETITIONS = 20
+DEFAULT_PACKETS = 20
+DEFAULT_DISTANCE_M = 2.0
+
+
+def paper_liquids(catalog: MaterialCatalog | None = None) -> list[Material]:
+    """The ten Fig. 15 liquids, in the paper's A..J order."""
+    catalog = catalog if catalog is not None else default_catalog()
+    return [catalog.get(name) for name in PAPER_LIQUID_ORDER]
+
+
+def standard_target(
+    diameter: float = 0.143,
+    wall_material: str = "plastic",
+    lateral_offset: float = DEFAULT_LATERAL_OFFSET,
+) -> CylinderTarget:
+    """The paper's default beaker: 14.3 cm plastic, 23 cm tall."""
+    return CylinderTarget(
+        diameter=diameter,
+        height=0.23,
+        wall_material_name=wall_material,
+        lateral_offset=lateral_offset,
+    )
+
+
+def standard_scene(
+    environment: str = "lab",
+    distance_m: float = DEFAULT_DISTANCE_M,
+    target: CylinderTarget | None = None,
+) -> SimulationScene:
+    """A deployment scene with the paper's defaults."""
+    return SimulationScene(
+        geometry=LinkGeometry(distance=distance_m),
+        environment=make_environment(environment),
+        target=target if target is not None else standard_target(),
+    )
+
+
+def collect_dataset(
+    materials: list[Material],
+    scene: SimulationScene | None = None,
+    repetitions: int = DEFAULT_REPETITIONS,
+    num_packets: int = DEFAULT_PACKETS,
+    seed: int = 0,
+    profile: HardwareProfile | None = None,
+) -> dict[str, list]:
+    """Collect ``repetitions`` paired sessions per material.
+
+    One call = one deployment: all sessions share a multipath realisation
+    (the paper's static-room protocol).  Returns
+    ``{material_name: [CaptureSession, ...]}``.
+    """
+    if not materials:
+        raise ValueError("need at least one material")
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    scene = scene if scene is not None else standard_scene()
+    collector = DataCollector(scene, profile=profile, rng=seed)
+    config = SessionConfig(num_packets=num_packets)
+    return {
+        material.name: collector.collect_many(material, repetitions, config)
+        for material in materials
+    }
+
+
+def split_dataset(
+    dataset: dict[str, list],
+    train_fraction: float = 0.6,
+) -> tuple[list, list]:
+    """Per-material train/test split (first sessions train).
+
+    Sessions within a material are exchangeable (same deployment), so a
+    deterministic prefix split is an unbiased choice and keeps every
+    experiment reproducible.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    train, test = [], []
+    for sessions in dataset.values():
+        if len(sessions) < 2:
+            raise ValueError(
+                "need at least 2 sessions per material to split"
+            )
+        cut = max(1, min(len(sessions) - 1, round(len(sessions) * train_fraction)))
+        train.extend(sessions[:cut])
+        test.extend(sessions[cut:])
+    return train, test

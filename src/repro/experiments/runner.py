@@ -1,0 +1,142 @@
+"""Train / identify / score loop shared by the accuracy experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.materials import Material
+from repro.core.config import WiMiConfig
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.csi.impairments import HardwareProfile
+from repro.csi.simulator import SimulationScene
+from repro.experiments.datasets import collect_dataset, split_dataset
+from repro.ml.validation import ConfusionMatrix, confusion_matrix
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one identification experiment.
+
+    Attributes:
+        confusion: Full confusion matrix over the tested materials.
+        extras: Free-form experiment-specific diagnostics.
+    """
+
+    confusion: ConfusionMatrix
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        """Overall identification accuracy."""
+        return self.confusion.accuracy
+
+    def per_class_accuracy(self) -> dict:
+        """Per-material accuracy (confusion diagonal)."""
+        return self.confusion.per_class_accuracy()
+
+
+def run_identification(
+    materials: list[Material],
+    scene: SimulationScene | None = None,
+    config: WiMiConfig | None = None,
+    repetitions: int = 20,
+    num_packets: int = 20,
+    train_fraction: float = 0.6,
+    seed: int = 0,
+    profile: HardwareProfile | None = None,
+    reference_materials: list[Material] | None = None,
+) -> ExperimentResult:
+    """One full WiMi experiment: collect, train, identify, score.
+
+    Args:
+        materials: The liquids under test (the classifier's classes).
+        scene: Deployment scene (defaults to the paper's lab at 2 m).
+        config: WiMi configuration.
+        repetitions: Sessions per material (paper: 20).
+        num_packets: Packets per trace (paper: 20).
+        train_fraction: Share of sessions used for the feature database.
+        seed: Deployment seed (multipath realisation + all noise).
+        profile: Hardware impairment profile.
+        reference_materials: Materials whose theory features seed the
+            gamma-resolution dictionary; defaults to ``materials``.
+    """
+    if len(materials) < 2:
+        raise ValueError("need at least two materials to identify")
+    refs_src = reference_materials if reference_materials else materials
+    refs = theory_reference_omegas(refs_src)
+
+    dataset = collect_dataset(
+        materials,
+        scene=scene,
+        repetitions=repetitions,
+        num_packets=num_packets,
+        seed=seed,
+        profile=profile,
+    )
+    train, test = split_dataset(dataset, train_fraction)
+
+    wimi = WiMi(refs, config)
+    wimi.fit(train)
+
+    y_true = np.array([s.material_name for s in test])
+    y_pred = np.array([wimi.identify(s) for s in test])
+    labels = [m.name for m in materials]
+    cm = confusion_matrix(y_true, y_pred, labels=labels)
+    return ExperimentResult(
+        confusion=cm,
+        extras={
+            "selected_subcarriers": wimi.calibrated_subcarriers,
+            "antenna_pair": wimi.calibrated_pair,
+            "coarse_pair": wimi.calibrated_coarse_pair,
+            "num_train": len(train),
+            "num_test": len(test),
+        },
+    )
+
+
+def fit_and_score(
+    train: list,
+    test: list,
+    labels: list[str],
+    reference_materials: list[Material],
+    config: WiMiConfig | None = None,
+) -> ExperimentResult:
+    """Train on pre-collected sessions and score on held-out ones.
+
+    Lower-level sibling of :func:`run_identification` for experiments that
+    reuse one dataset under several configurations (e.g. the Fig. 18
+    packet sweep truncates the same sessions to different lengths).
+    """
+    if not train or not test:
+        raise ValueError("need non-empty train and test session lists")
+    refs = theory_reference_omegas(reference_materials)
+    wimi = WiMi(refs, config)
+    wimi.fit(train)
+    y_true = np.array([s.material_name for s in test])
+    y_pred = np.array([wimi.identify(s) for s in test])
+    cm = confusion_matrix(y_true, y_pred, labels=labels)
+    return ExperimentResult(
+        confusion=cm,
+        extras={
+            "selected_subcarriers": wimi.calibrated_subcarriers,
+            "antenna_pair": wimi.calibrated_pair,
+        },
+    )
+
+
+def mean_accuracy_over_seeds(
+    materials: list[Material],
+    seeds: list[int] | tuple[int, ...],
+    **kwargs,
+) -> tuple[float, list[float]]:
+    """Average :func:`run_identification` accuracy over deployments."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    accs = [
+        run_identification(materials, seed=s, **kwargs).accuracy
+        for s in seeds
+    ]
+    return float(np.mean(accs)), accs

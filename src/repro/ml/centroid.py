@@ -1,0 +1,60 @@
+"""Nearest-centroid classifier.
+
+The simplest possible reading of the paper's "material database": store the
+mean feature per material, classify to the closest mean.  Used as the
+classifier-ablation floor and inside the feature database itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NearestCentroidClassifier:
+    """Classify to the nearest per-class mean (Euclidean)."""
+
+    def __init__(self):
+        self._centroids: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "NearestCentroidClassifier":
+        """Compute one centroid per class."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"{x.shape[0]} samples but {y.shape[0]} labels")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._classes = np.unique(y)
+        self._centroids = np.stack(
+            [x[y == cls].mean(axis=0) for cls in self._classes]
+        )
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Closest-centroid predictions."""
+        if self._centroids is None or self._classes is None:
+            raise RuntimeError("NearestCentroidClassifier is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        sq = (
+            np.sum(x * x, axis=1)[:, None]
+            + np.sum(self._centroids * self._centroids, axis=1)[None, :]
+            - 2.0 * (x @ self._centroids.T)
+        )
+        return self._classes[np.argmin(sq, axis=1)]
+
+    @property
+    def centroids_(self) -> np.ndarray:
+        """Per-class centroids, ordered like :attr:`classes_`."""
+        if self._centroids is None:
+            raise RuntimeError("NearestCentroidClassifier is not fitted")
+        return self._centroids
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """Class labels seen during fit."""
+        if self._classes is None:
+            raise RuntimeError("NearestCentroidClassifier is not fitted")
+        return self._classes

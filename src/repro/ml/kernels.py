@@ -1,0 +1,93 @@
+"""Kernel functions for the SVM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.ndim != 2:
+        raise ValueError(f"expected 2-D data, got shape {x.shape}")
+    return x
+
+
+@dataclass(frozen=True)
+class LinearKernel:
+    """``K(x, y) = x . y``."""
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return _as_2d(a) @ _as_2d(b).T
+
+    def __repr__(self) -> str:
+        return "LinearKernel()"
+
+
+@dataclass(frozen=True)
+class RBFKernel:
+    """``K(x, y) = exp(-gamma ||x - y||^2)``.
+
+    ``gamma=None`` means the sklearn-style "scale" heuristic
+    ``1 / (n_features * var(X))``, resolved when the Gram matrix is first
+    computed on training data via :meth:`resolve_gamma`.
+    """
+
+    gamma: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.gamma is not None and self.gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+
+    def resolve_gamma(self, x_train: np.ndarray) -> float:
+        """Concrete gamma for a training matrix."""
+        if self.gamma is not None:
+            return self.gamma
+        x = _as_2d(x_train)
+        variance = float(np.var(x))
+        if variance <= 0:
+            return 1.0
+        return 1.0 / (x.shape[1] * variance)
+
+    def __call__(
+        self, a: np.ndarray, b: np.ndarray, gamma: float | None = None
+    ) -> np.ndarray:
+        a = _as_2d(a)
+        b = _as_2d(b)
+        g = gamma if gamma is not None else (self.gamma if self.gamma else 1.0)
+        sq = (
+            np.sum(a * a, axis=1)[:, None]
+            + np.sum(b * b, axis=1)[None, :]
+            - 2.0 * (a @ b.T)
+        )
+        return np.exp(-g * np.clip(sq, 0.0, None))
+
+
+@dataclass(frozen=True)
+class PolynomialKernel:
+    """``K(x, y) = (x . y + coef0)^degree``."""
+
+    degree: int = 3
+    coef0: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (_as_2d(a) @ _as_2d(b).T + self.coef0) ** self.degree
+
+
+def make_kernel(name: str, **params):
+    """Kernel factory: ``linear``, ``rbf`` or ``poly``."""
+    name = name.lower()
+    if name == "linear":
+        return LinearKernel()
+    if name == "rbf":
+        return RBFKernel(**params)
+    if name in ("poly", "polynomial"):
+        return PolynomialKernel(**params)
+    raise ValueError(f"unknown kernel {name!r}; use linear, rbf or poly")

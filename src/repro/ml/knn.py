@@ -1,0 +1,59 @@
+"""k-nearest-neighbours classifier (classifier-ablation baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNeighborsClassifier:
+    """Plain Euclidean kNN with majority vote.
+
+    Ties are broken toward the nearest neighbour's class, which makes the
+    classifier deterministic.
+    """
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Memorise the training set."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"{x.shape[0]} samples but {y.shape[0]} labels")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._x = x
+        self._y = y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority vote among the k nearest training samples."""
+        if self._x is None or self._y is None:
+            raise RuntimeError("KNeighborsClassifier is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        k = min(self.k, self._x.shape[0])
+        sq = (
+            np.sum(x * x, axis=1)[:, None]
+            + np.sum(self._x * self._x, axis=1)[None, :]
+            - 2.0 * (x @ self._x.T)
+        )
+        order = np.argsort(sq, axis=1)[:, :k]
+        predictions = []
+        for row in order:
+            neighbour_labels = self._y[row]
+            values, counts = np.unique(neighbour_labels, return_counts=True)
+            top = counts.max()
+            contenders = set(values[counts == top])
+            # Nearest neighbour whose class is among the top-voted wins.
+            choice = next(
+                lbl for lbl in neighbour_labels if lbl in contenders
+            )
+            predictions.append(choice)
+        return np.array(predictions, dtype=self._y.dtype)

@@ -1,0 +1,176 @@
+"""Evaluation utilities: splits, cross-validation, confusion matrices.
+
+Every accuracy number in the paper's evaluation is a classification score
+over repeated measurements; this module provides the scoring machinery:
+stratified train/test splits (so each material keeps its share), k-fold
+cross-validation, and a :class:`ConfusionMatrix` that renders like the
+paper's Fig. 15/16 matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.5,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split into train/test, stratified per class by default.
+
+    Returns ``(x_train, x_test, y_train, y_test)``.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"{x.shape[0]} samples but {y.shape[0]} labels")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    test_idx: list[int] = []
+    if stratify:
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            rng.shuffle(members)
+            n_test = max(1, int(round(members.size * test_fraction)))
+            n_test = min(n_test, members.size - 1) if members.size > 1 else 1
+            test_idx.extend(members[:n_test].tolist())
+    else:
+        order = rng.permutation(x.shape[0])
+        n_test = max(1, int(round(x.shape[0] * test_fraction)))
+        test_idx = order[:n_test].tolist()
+    test_mask = np.zeros(x.shape[0], dtype=bool)
+    test_mask[test_idx] = True
+    return x[~test_mask], x[test_mask], y[~test_mask], y[test_mask]
+
+
+def k_fold_indices(
+    num_samples: int, k: int, seed: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold ``(train_idx, test_idx)`` pairs."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if num_samples < k:
+        raise ValueError(f"cannot make {k} folds from {num_samples} samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_samples)
+    folds = np.array_split(order, k)
+    pairs = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        pairs.append((train, test))
+    return pairs
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("accuracy of zero samples is undefined")
+    return float(np.mean(y_true == y_pred))
+
+
+@dataclass
+class ConfusionMatrix:
+    """A labelled confusion matrix with paper-style rendering.
+
+    ``matrix[i, j]`` counts samples of true class ``labels[i]`` predicted
+    as ``labels[j]``.
+    """
+
+    labels: list
+    matrix: np.ndarray
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """Row-normalised matrix (each row sums to 1 where defined)."""
+        totals = self.matrix.sum(axis=1, keepdims=True).astype(float)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(totals > 0, self.matrix / totals, 0.0)
+        return out
+
+    @property
+    def accuracy(self) -> float:
+        """Overall accuracy."""
+        total = self.matrix.sum()
+        if total == 0:
+            raise ValueError("empty confusion matrix")
+        return float(np.trace(self.matrix) / total)
+
+    def per_class_accuracy(self) -> dict:
+        """Diagonal of the row-normalised matrix, keyed by label."""
+        norm = self.normalized
+        return {
+            label: float(norm[i, i]) for i, label in enumerate(self.labels)
+        }
+
+    def render(self, digits: int = 2) -> str:
+        """Text rendering in the style of the paper's Fig. 15."""
+        norm = self.normalized
+        width = max(len(str(lbl)) for lbl in self.labels)
+        width = max(width, digits + 2)
+        header = " " * (width + 1) + " ".join(
+            f"{str(lbl):>{width}}" for lbl in self.labels
+        )
+        lines = [header]
+        for i, lbl in enumerate(self.labels):
+            cells = " ".join(
+                f"{norm[i, j]:>{width}.{digits}f}" if norm[i, j] > 0 else " " * width
+                for j in range(len(self.labels))
+            )
+            lines.append(f"{str(lbl):>{width}} {cells}")
+        return "\n".join(lines)
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: list | None = None
+) -> ConfusionMatrix:
+    """Build a :class:`ConfusionMatrix` from predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    index = {lbl: i for i, lbl in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        if t not in index or p not in index:
+            raise ValueError(f"label {t!r} or {p!r} missing from {labels}")
+        matrix[index[t], index[p]] += 1
+    return ConfusionMatrix(labels=list(labels), matrix=matrix)
+
+
+def cross_validate(
+    make_classifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    seed: int = 0,
+) -> list[float]:
+    """k-fold accuracies of ``make_classifier()`` on ``(x, y)``.
+
+    ``make_classifier`` is a zero-argument factory returning a fresh
+    object with ``fit`` / ``predict``.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in k_fold_indices(x.shape[0], k, seed):
+        clf = make_classifier()
+        clf.fit(x[train_idx], y[train_idx])
+        scores.append(accuracy_score(y[test_idx], clf.predict(x[test_idx])))
+    return scores

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_figures_registered(self):
+        for expected in ("fig02", "fig15", "fig21"):
+            assert expected in COMMANDS
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_seed_parsed(self):
+        args = build_parser().parse_args(["fig15", "--seed", "7"])
+        assert args.seed == 7
+
+
+class TestExecution:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out
+        assert "ten-liquid" in out
+
+    def test_fast_figure_runs(self, capsys):
+        assert main(["fig08", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        assert "ratio" in out
+
+    def test_phase_figure_runs(self, capsys):
+        assert main(["fig02", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "angular fluctuation" in out

@@ -1,0 +1,122 @@
+"""Tests for the Data Collection Module."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import make_environment
+from repro.channel.geometry import CylinderTarget, LinkGeometry
+from repro.channel.materials import default_catalog
+from repro.csi.collector import CaptureSession, DataCollector, SessionConfig
+from repro.csi.model import CsiTrace
+from repro.csi.simulator import SimulationScene
+
+
+@pytest.fixture
+def scene():
+    return SimulationScene(
+        geometry=LinkGeometry(),
+        environment=make_environment("lab"),
+        target=CylinderTarget(lateral_offset=0.02),
+    )
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()
+
+
+class TestSessionConfig:
+    def test_default_twenty_packets(self):
+        assert SessionConfig().num_packets == 20
+
+    def test_default_baseline_is_air(self):
+        assert SessionConfig().baseline_material.name == "air"
+
+    def test_invalid_packets_rejected(self):
+        with pytest.raises(ValueError, match="num_packets"):
+            SessionConfig(num_packets=0)
+
+
+class TestCaptureSession:
+    def test_truncated(self, scene, catalog):
+        collector = DataCollector(scene, rng=0)
+        session = collector.collect(catalog.get("milk"))
+        short = session.truncated(5)
+        assert len(short.baseline) == 5
+        assert len(short.target) == 5
+        assert short.material_name == "milk"
+
+    def test_mismatched_traces_rejected(self):
+        t3 = CsiTrace.from_matrix(np.zeros((2, 30, 3), dtype=complex))
+        t2 = CsiTrace.from_matrix(np.zeros((2, 30, 2), dtype=complex))
+        with pytest.raises(ValueError, match="antenna count"):
+            CaptureSession(t3, t2, "x", SimulationScene())
+
+    def test_empty_traces_rejected(self):
+        t = CsiTrace.from_matrix(np.zeros((2, 30, 3), dtype=complex))
+        empty = CsiTrace()
+        with pytest.raises(ValueError, match="non-empty"):
+            CaptureSession(empty, t, "x", SimulationScene())
+
+
+class TestDataCollector:
+    def test_requires_target(self):
+        scene = SimulationScene(environment=make_environment("lab"))
+        with pytest.raises(ValueError, match="target container"):
+            DataCollector(scene)
+
+    def test_collect_shapes(self, scene, catalog):
+        collector = DataCollector(scene, rng=0)
+        session = collector.collect(
+            catalog.get("milk"), SessionConfig(num_packets=7)
+        )
+        assert len(session.baseline) == 7
+        assert len(session.target) == 7
+        assert session.num_antennas == 3
+
+    def test_collect_many(self, scene, catalog):
+        collector = DataCollector(scene, rng=0)
+        sessions = collector.collect_many(catalog.get("oil"), 3)
+        assert len(sessions) == 3
+        assert all(s.material_name == "oil" for s in sessions)
+
+    def test_deployment_shares_multipath(self, scene, catalog):
+        collector = DataCollector(scene, rng=0)
+        assert collector.channel is not None
+        s1 = collector.collect(catalog.get("milk"))
+        s2 = collector.collect(catalog.get("milk"))
+        # The reflector positions are the deployment's: fixed.
+        assert len(collector.channel.paths) == scene.environment.num_paths
+        # But sessions differ (drift + noise).
+        assert not np.allclose(
+            s1.baseline.matrix(), s2.baseline.matrix()
+        )
+
+    def test_offset_jitter_repositions_beaker(self, scene, catalog):
+        collector = DataCollector(scene, rng=0, offset_jitter=0.002)
+        offsets = {
+            collector.collect(catalog.get("milk")).scene.target.lateral_offset
+            for _ in range(4)
+        }
+        assert len(offsets) > 1
+        for off in offsets:
+            assert abs(off - scene.target.lateral_offset) <= 0.002 + 1e-12
+
+    def test_zero_jitter_keeps_scene(self, scene, catalog):
+        collector = DataCollector(scene, rng=0, offset_jitter=0.0)
+        session = collector.collect(catalog.get("milk"))
+        assert session.scene is scene
+
+    def test_negative_jitter_rejected(self, scene):
+        with pytest.raises(ValueError, match="offset_jitter"):
+            DataCollector(scene, offset_jitter=-0.001)
+
+    def test_negative_repetitions_rejected(self, scene, catalog):
+        collector = DataCollector(scene, rng=0)
+        with pytest.raises(ValueError, match="repetitions"):
+            collector.collect_many(catalog.get("milk"), -1)
+
+    def test_reproducible(self, scene, catalog):
+        s1 = DataCollector(scene, rng=9).collect(catalog.get("milk"))
+        s2 = DataCollector(scene, rng=9).collect(catalog.get("milk"))
+        np.testing.assert_allclose(s1.target.matrix(), s2.target.matrix())

@@ -1,0 +1,125 @@
+"""Tests for the material feature database and classifier wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import DatabaseClassifier, MaterialDatabase
+from repro.core.feature import FeatureMeasurement
+
+
+def _measurement(omega, name, coarse=float("nan")):
+    omegas = np.array([omega, omega * 1.01])
+    return FeatureMeasurement(
+        omegas=omegas,
+        delta_theta=np.array([-5.0, -5.0]),
+        delta_psi=np.exp(-omegas * -5.0),
+        gamma=-1,
+        pair=(0, 1),
+        subcarriers=[3, 4],
+        material_name=name,
+        theta_aligned=np.array([-5.0 + 2 * np.pi, -5.0 + 2 * np.pi]),
+        neg_log_psi=omegas * -5.0,
+        omega_coarse=coarse,
+    )
+
+
+def _database():
+    db = MaterialDatabase()
+    rng = np.random.default_rng(0)
+    for name, omega in (("water", 0.16), ("oil", 0.09), ("soy", 0.38)):
+        for _ in range(6):
+            db.add(_measurement(omega + rng.normal(0, 0.002), name))
+    return db
+
+
+class TestDatabase:
+    def test_add_and_count(self):
+        db = _database()
+        assert db.count("water") == 6
+        assert len(db) == 18
+        assert set(db.labels) == {"water", "oil", "soy"}
+
+    def test_unlabelled_rejected(self):
+        db = MaterialDatabase()
+        with pytest.raises(ValueError, match="label"):
+            db.add(_measurement(0.1, ""))
+
+    def test_explicit_label(self):
+        db = MaterialDatabase()
+        db.add(_measurement(0.1, ""), label="mystery")
+        assert db.count("mystery") == 1
+
+    def test_mean_feature(self):
+        db = _database()
+        assert db.mean_feature("water").shape == (2,)
+
+    def test_feature_spread(self):
+        db = _database()
+        assert db.feature_spread("water") < 0.01
+
+    def test_missing_material(self):
+        with pytest.raises(KeyError, match="no entries"):
+            _database().mean_feature("wine")
+
+    def test_dataset_shapes(self):
+        x, y = _database().dataset()
+        assert x.shape == (18, 2)
+        assert y.shape == (18,)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            MaterialDatabase().dataset()
+
+    def test_inconsistent_vectors_rejected(self):
+        db = MaterialDatabase()
+        db.add_vector("a", np.zeros(2))
+        db.add_vector("b", np.zeros(3))
+        with pytest.raises(ValueError, match="inconsistent"):
+            db.dataset()
+
+
+class TestClassifier:
+    @pytest.mark.parametrize("kind", ["svm", "knn", "centroid"])
+    def test_fit_predict(self, kind):
+        db = _database()
+        clf = DatabaseClassifier(kind=kind).fit(db)
+        pred = clf.predict_one(_measurement(0.16, ""))
+        assert pred == "water"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="classifier kind"):
+            DatabaseClassifier(kind="forest")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DatabaseClassifier().predict(np.zeros((1, 2)))
+
+    def test_single_material_rejected(self):
+        db = MaterialDatabase()
+        for _ in range(3):
+            db.add(_measurement(0.2, "only"))
+        with pytest.raises(ValueError, match="two materials"):
+            DatabaseClassifier().fit(db)
+
+    def test_branch_resolution_recovers_wrapped(self):
+        db = _database()
+        clf = DatabaseClassifier().fit(db)
+        # A soy measurement whose principal branch is wrong by one wrap.
+        m = _measurement(0.38, "")
+        predicted = clf.resolve_branch_and_predict(
+            m, envelope=(0.05, 0.6)
+        )
+        assert predicted == "soy"
+
+    def test_branch_resolution_without_observables(self):
+        db = _database()
+        clf = DatabaseClassifier().fit(db)
+        bare = FeatureMeasurement(
+            omegas=np.array([0.09, 0.09]),
+            delta_theta=np.array([-1.0, -1.0]),
+            delta_psi=np.array([1.0, 1.0]),
+            gamma=0,
+            pair=(0, 1),
+            subcarriers=[3, 4],
+        )
+        assert clf.resolve_branch_and_predict(bare) == "oil"

@@ -1,0 +1,82 @@
+"""Tests for the Phase Calibration Module."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import make_environment
+from repro.channel.geometry import CylinderTarget, LinkGeometry
+from repro.channel.materials import default_catalog
+from repro.core.phase import PhaseCalibrator
+from repro.csi.collector import DataCollector, SessionConfig
+from repro.csi.simulator import SimulationScene
+
+
+@pytest.fixture(scope="module")
+def session():
+    scene = SimulationScene(
+        geometry=LinkGeometry(),
+        environment=make_environment("lab"),
+        target=CylinderTarget(lateral_offset=0.02),
+    )
+    collector = DataCollector(scene, rng=0)
+    return collector.collect(
+        default_catalog().get("milk"), SessionConfig(num_packets=40)
+    )
+
+
+class TestRawPhase:
+    def test_raw_phase_is_useless(self, session):
+        cal = PhaseCalibrator()
+        spread = cal.angular_fluctuation_deg(session.baseline, antenna=0)
+        assert spread > 60.0  # uniformly scattered by CFO
+
+    def test_shape(self, session):
+        cal = PhaseCalibrator()
+        assert cal.raw_phases(session.baseline).shape == (40, 30)
+
+    def test_invalid_antenna_rejected(self, session):
+        with pytest.raises(ValueError, match="antenna"):
+            PhaseCalibrator().raw_phases(session.baseline, antenna=5)
+
+
+class TestPhaseDifference:
+    def test_difference_is_stable(self, session):
+        cal = PhaseCalibrator()
+        spread = cal.angular_fluctuation_deg(session.baseline, pair=(0, 1))
+        raw = cal.angular_fluctuation_deg(session.baseline, antenna=0)
+        assert spread < raw / 3.0
+
+    def test_antisymmetric(self, session):
+        cal = PhaseCalibrator()
+        d01 = cal.phase_difference(session.baseline, (0, 1))
+        d10 = cal.phase_difference(session.baseline, (1, 0))
+        np.testing.assert_allclose(
+            np.angle(np.exp(1j * (d01 + d10))), 0.0, atol=1e-9
+        )
+
+    def test_averaged_shape(self, session):
+        cal = PhaseCalibrator()
+        avg = cal.averaged_phase_difference(session.baseline, (0, 1))
+        assert avg.shape == (30,)
+        assert np.all(np.abs(avg) <= np.pi + 1e-9)
+
+    def test_same_antenna_rejected(self, session):
+        with pytest.raises(ValueError, match="distinct"):
+            PhaseCalibrator().phase_difference(session.baseline, (1, 1))
+
+    def test_out_of_range_rejected(self, session):
+        with pytest.raises(ValueError, match="out of range"):
+            PhaseCalibrator().phase_difference(session.baseline, (0, 9))
+
+    def test_single_subcarrier_fluctuation(self, session):
+        cal = PhaseCalibrator()
+        value = cal.angular_fluctuation_deg(
+            session.baseline, pair=(0, 1), subcarrier=3
+        )
+        assert 0.0 <= value <= 180.0
+
+    def test_invalid_subcarrier_rejected(self, session):
+        with pytest.raises(ValueError, match="subcarrier"):
+            PhaseCalibrator().angular_fluctuation_deg(
+                session.baseline, pair=(0, 1), subcarrier=99
+            )

@@ -1,0 +1,95 @@
+"""Tests for CSI trace serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import make_environment
+from repro.channel.geometry import CylinderTarget, LinkGeometry
+from repro.channel.materials import default_catalog
+from repro.csi.collector import DataCollector, SessionConfig
+from repro.csi.io import load_session, load_trace, save_session, save_trace
+from repro.csi.simulator import SimulationScene
+
+
+@pytest.fixture(scope="module")
+def session():
+    scene = SimulationScene(
+        geometry=LinkGeometry(),
+        environment=make_environment("lab"),
+        target=CylinderTarget(lateral_offset=0.02),
+    )
+    return DataCollector(scene, rng=0).collect(
+        default_catalog().get("milk"), SessionConfig(num_packets=6)
+    )
+
+
+class TestBinaryTrace:
+    def test_roundtrip_precision(self, session, tmp_path):
+        path = tmp_path / "trace.wimi"
+        save_trace(session.baseline, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(session.baseline)
+        np.testing.assert_allclose(
+            loaded.matrix(), session.baseline.matrix(), rtol=1e-3, atol=1e-4
+        )
+
+    def test_metadata_preserved(self, session, tmp_path):
+        path = tmp_path / "trace.wimi"
+        save_trace(session.baseline, path)
+        loaded = load_trace(path)
+        assert loaded.carrier_hz == session.baseline.carrier_hz
+        np.testing.assert_allclose(
+            loaded.timestamps(), session.baseline.timestamps()
+        )
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.wimi"
+        path.write_bytes(b"NOPE" + bytes(20))
+        with pytest.raises(ValueError, match="magic"):
+            load_trace(path)
+
+    def test_truncated_rejected(self, session, tmp_path):
+        path = tmp_path / "trace.wimi"
+        save_trace(session.baseline, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.wimi"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+    def test_pipeline_results_survive_roundtrip(self, session, tmp_path):
+        # Quantisation must not change what the pipeline measures.
+        from repro.core.phase import PhaseCalibrator
+
+        path = tmp_path / "trace.wimi"
+        save_trace(session.baseline, path)
+        loaded = load_trace(path)
+        cal = PhaseCalibrator()
+        before = cal.averaged_phase_difference(session.baseline, (0, 1))
+        after = cal.averaged_phase_difference(loaded, (0, 1))
+        np.testing.assert_allclose(after, before, atol=1e-3)
+
+
+class TestSessionArchive:
+    def test_roundtrip(self, session, tmp_path):
+        path = tmp_path / "session.npz"
+        save_session(session, path)
+        loaded = load_session(path)
+        assert loaded.material_name == "milk"
+        np.testing.assert_allclose(
+            loaded.target.matrix(), session.target.matrix()
+        )
+        np.testing.assert_allclose(
+            loaded.baseline.matrix(), session.baseline.matrix()
+        )
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, baseline=np.zeros((1, 2, 2), dtype=complex))
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_session(path)

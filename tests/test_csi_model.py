@@ -1,0 +1,80 @@
+"""Tests for the CSI data containers."""
+
+import numpy as np
+import pytest
+
+from repro.csi.model import CsiPacket, CsiTrace
+
+
+def _matrix(m=4, k=30, a=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, k, a)) + 1j * rng.standard_normal((m, k, a))
+
+
+class TestCsiPacket:
+    def test_shape_accessors(self):
+        p = CsiPacket(csi=_matrix()[0])
+        assert p.num_subcarriers == 30
+        assert p.num_antennas == 3
+
+    def test_amplitude_phase(self):
+        p = CsiPacket(csi=np.full((2, 2), 3.0 + 4.0j))
+        np.testing.assert_allclose(p.amplitude(), 5.0)
+        np.testing.assert_allclose(p.phase(), np.arctan2(4.0, 3.0))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            CsiPacket(csi=np.zeros(4, dtype=complex))
+
+    def test_rejects_real(self):
+        with pytest.raises(TypeError, match="complex"):
+            CsiPacket(csi=np.zeros((2, 2)))
+
+
+class TestCsiTrace:
+    def test_matrix_roundtrip(self):
+        m = _matrix()
+        trace = CsiTrace.from_matrix(m)
+        np.testing.assert_allclose(trace.matrix(), m)
+
+    def test_lengths_and_indexing(self):
+        trace = CsiTrace.from_matrix(_matrix(m=5))
+        assert len(trace) == 5
+        assert trace[2].sequence == 2
+        assert trace.num_subcarriers == 30
+        assert trace.num_antennas == 3
+
+    def test_timestamps_spacing(self):
+        trace = CsiTrace.from_matrix(_matrix(m=3), packet_interval_s=0.01)
+        np.testing.assert_allclose(trace.timestamps(), [0.0, 0.01, 0.02])
+
+    def test_subset(self):
+        trace = CsiTrace.from_matrix(_matrix(m=6))
+        sub = trace.subset(2)
+        assert len(sub) == 2
+        assert sub.carrier_hz == trace.carrier_hz
+
+    def test_subset_negative_rejected(self):
+        with pytest.raises(ValueError, match="num_packets"):
+            CsiTrace.from_matrix(_matrix()).subset(-1)
+
+    def test_empty_trace(self):
+        trace = CsiTrace()
+        assert len(trace) == 0
+        assert trace.num_subcarriers == 0
+        assert trace.matrix().shape == (0, 0, 0)
+
+    def test_inconsistent_packets_rejected(self):
+        p1 = CsiPacket(csi=np.zeros((3, 2), dtype=complex))
+        p2 = CsiPacket(csi=np.zeros((4, 2), dtype=complex))
+        with pytest.raises(ValueError, match="inconsistent"):
+            CsiTrace(packets=[p1, p2])
+
+    def test_from_matrix_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            CsiTrace.from_matrix(np.zeros((3, 2), dtype=complex))
+
+    def test_amplitudes_phases_shapes(self):
+        trace = CsiTrace.from_matrix(_matrix())
+        assert trace.amplitudes().shape == (4, 30, 3)
+        assert trace.phases().shape == (4, 30, 3)

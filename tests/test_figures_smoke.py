@@ -1,0 +1,83 @@
+"""Smoke tests for the fast figure experiments.
+
+The heavyweight identification figures are exercised by the benchmark
+suite; these cover the microbenchmark figures' contracts so a pipeline
+regression is caught by ``pytest tests/`` alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures as F
+
+
+class TestMicrobenchmarkFigures:
+    def test_phase_calibration_ordering(self):
+        result = F.phase_calibration_microbenchmark(
+            environment="lab", num_packets=30, seed=2
+        )
+        assert result["raw_spread_deg"] > result["pair_difference_spread_deg"]
+        assert len(result["selected_subcarriers"]) == 4
+
+    def test_raw_amplitude_statistics(self):
+        result = F.raw_amplitude_microbenchmark(num_packets=100, seed=2)
+        assert result["std_amplitude"] > 0
+        assert result["excess_kurtosis"] > 0
+
+    def test_subcarrier_variance_profile(self):
+        result = F.subcarrier_variance_profile(num_packets=30, seed=2)
+        assert result["variances"].shape == (30,)
+        assert result["min_variance"] <= result["median_variance"]
+        selected = result["selected_subcarriers"]
+        assert all(0 <= k < 30 for k in selected)
+
+    def test_denoise_filter_comparison(self):
+        result = F.denoise_filter_comparison(trials=4, seed=2)
+        assert set(result) == {"median", "slide", "butterworth", "proposed"}
+        assert all(v > 0 for v in result.values())
+        assert result["proposed"] < result["slide"]
+
+    def test_amplitude_ratio_variance(self):
+        result = F.amplitude_ratio_variance(num_packets=60, seed=2)
+        assert result["ratio_variance"] < result["antenna0_variance"]
+
+    def test_antenna_combination_variance(self):
+        result = F.antenna_combination_variance(num_packets=30, seed=2)
+        assert set(result) == {(0, 1), (0, 2), (1, 2)}
+        for stats in result.values():
+            assert stats["phase_variance"] > 0
+            assert stats["ratio_variance"] > 0
+
+    def test_material_feature_clusters_ordered(self):
+        clusters = F.material_feature_clusters(repetitions=4, seed=2)
+        by_theory = sorted(clusters, key=lambda n: clusters[n]["theory"])
+        by_measured = sorted(clusters, key=lambda n: clusters[n]["mean"])
+        assert by_theory == by_measured
+
+
+class TestPublicApi:
+    def test_package_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_all_resolves(self):
+        import repro.channel
+        import repro.core
+        import repro.csi
+        import repro.dsp
+        import repro.ml
+
+        for module in (
+            repro.channel, repro.core, repro.csi, repro.dsp, repro.ml
+        ):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__, name
+                )
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

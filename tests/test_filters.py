@@ -1,0 +1,180 @@
+"""Tests for the classical filter baselines (Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.filters import (
+    butter_lowpass_coefficients,
+    butterworth_filter,
+    filtfilt,
+    lfilter,
+    median_filter,
+    sliding_mean_filter,
+)
+
+
+class TestMedianFilter:
+    def test_removes_isolated_spike(self):
+        x = np.ones(21)
+        x[10] = 100.0
+        out = median_filter(x, window=5)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_preserves_constant(self):
+        out = median_filter(np.full(15, 3.3), window=3)
+        np.testing.assert_allclose(out, 3.3)
+
+    def test_output_length(self):
+        assert median_filter(np.arange(10.0), window=3).size == 10
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            median_filter(np.arange(10.0), window=4)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            median_filter(np.arange(10.0), window=0)
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            median_filter(np.array([]), window=3)
+
+    def test_monotone_preserved_in_interior(self):
+        x = np.arange(20.0)
+        out = median_filter(x, window=3)
+        np.testing.assert_allclose(out[1:-1], x[1:-1])
+
+
+class TestSlidingMeanFilter:
+    def test_preserves_constant(self):
+        out = sliding_mean_filter(np.full(12, 7.0), window=5)
+        np.testing.assert_allclose(out, 7.0)
+
+    def test_reduces_noise_variance(self):
+        rng = np.random.default_rng(0)
+        x = 5.0 + rng.standard_normal(500)
+        out = sliding_mean_filter(x, window=7)
+        assert np.var(out) < np.var(x) / 3
+
+    def test_output_length(self):
+        assert sliding_mean_filter(np.arange(9.0), window=3).size == 9
+
+    def test_spike_attenuated_not_removed(self):
+        x = np.zeros(11)
+        x[5] = 10.0
+        out = sliding_mean_filter(x, window=5)
+        assert 0 < out[5] < 10.0
+
+
+class TestButterworthDesign:
+    def test_dc_gain_unity(self):
+        b, a = butter_lowpass_coefficients(3, 0.3)
+        assert np.sum(b) / np.sum(a) == pytest.approx(1.0, abs=1e-10)
+
+    def test_poles_inside_unit_circle(self):
+        for order in (1, 2, 3, 4, 5):
+            _, a = butter_lowpass_coefficients(order, 0.25)
+            poles = np.roots(a)
+            assert np.all(np.abs(poles) < 1.0)
+
+    def test_halfpower_at_cutoff(self):
+        # |H| at the cutoff frequency should be ~ 1/sqrt(2).
+        order, cutoff = 4, 0.4
+        b, a = butter_lowpass_coefficients(order, cutoff)
+        w = np.pi * cutoff
+        z = np.exp(1j * w)
+        h = np.polyval(b, z) / np.polyval(a, z)
+        assert abs(h) == pytest.approx(1.0 / np.sqrt(2.0), abs=1e-6)
+
+    def test_highfreq_attenuated(self):
+        b, a = butter_lowpass_coefficients(4, 0.2)
+        z = np.exp(1j * np.pi * 0.9)
+        h = np.polyval(b, z) / np.polyval(a, z)
+        assert abs(h) < 0.01
+
+    def test_matches_scipy(self):
+        scipy_signal = pytest.importorskip("scipy.signal")
+        b, a = butter_lowpass_coefficients(3, 0.3)
+        b_ref, a_ref = scipy_signal.butter(3, 0.3)
+        np.testing.assert_allclose(b, b_ref, atol=1e-8)
+        np.testing.assert_allclose(a, a_ref, atol=1e-8)
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError, match="cutoff"):
+            butter_lowpass_coefficients(2, 1.5)
+        with pytest.raises(ValueError, match="cutoff"):
+            butter_lowpass_coefficients(2, 0.0)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            butter_lowpass_coefficients(0, 0.3)
+
+
+class TestIIRFiltering:
+    def test_lfilter_matches_scipy(self):
+        scipy_signal = pytest.importorskip("scipy.signal")
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(200)
+        b, a = butter_lowpass_coefficients(3, 0.3)
+        np.testing.assert_allclose(
+            lfilter(b, a, x), scipy_signal.lfilter(b, a, x), atol=1e-8
+        )
+
+    def test_lfilter_fir(self):
+        # Pure moving average as an FIR special case.
+        x = np.arange(10.0)
+        out = lfilter(np.array([0.5, 0.5]), np.array([1.0]), x)
+        expected = np.array([0.0, 0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5])
+        np.testing.assert_allclose(out, expected)
+
+    def test_filtfilt_zero_phase(self):
+        # A slow sinusoid should come through without delay.
+        t = np.linspace(0, 4 * np.pi, 400)
+        x = np.sin(t)
+        b, a = butter_lowpass_coefficients(3, 0.3)
+        out = filtfilt(b, a, x)
+        lag = np.argmax(np.correlate(out, x, mode="full")) - (x.size - 1)
+        assert lag == 0
+
+    def test_filtfilt_preserves_constant(self):
+        b, a = butter_lowpass_coefficients(2, 0.25)
+        out = filtfilt(b, a, np.full(50, 2.5))
+        np.testing.assert_allclose(out, 2.5, atol=1e-3)
+
+    def test_butterworth_filter_smooths(self):
+        rng = np.random.default_rng(2)
+        x = 1.0 + 0.5 * rng.standard_normal(300)
+        out = butterworth_filter(x, cutoff_normalized=0.1, order=3)
+        assert np.var(out) < np.var(x) / 2
+
+    def test_zero_leading_a_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            lfilter(np.array([1.0]), np.array([0.0, 1.0]), np.ones(4))
+
+
+class TestFilterProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=5, max_size=60
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_median_output_within_input_range(self, data):
+        x = np.array(data)
+        out = median_filter(x, window=3)
+        assert out.min() >= x.min() - 1e-12
+        assert out.max() <= x.max() + 1e-12
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=5, max_size=60
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sliding_mean_within_input_range(self, data):
+        x = np.array(data)
+        out = sliding_mean_filter(x, window=3)
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9

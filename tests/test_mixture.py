@@ -1,0 +1,156 @@
+"""Tests for the mixture material model and multi-link/multi-material
+extension experiments."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.materials import Material, default_catalog, mixture
+from repro.channel.propagation import material_feature_theory
+
+CATALOG = default_catalog()
+
+
+class TestMixture:
+    def test_endpoints_recover_components(self):
+        water = CATALOG.get("pure_water")
+        oil = CATALOG.get("oil")
+        all_water = mixture(water, oil, 1.0)
+        all_oil = mixture(water, oil, 0.0)
+        assert all_water.eps_real == pytest.approx(water.eps_real, rel=1e-6)
+        assert all_oil.eps_real == pytest.approx(oil.eps_real, rel=1e-6)
+
+    def test_feature_between_components(self):
+        water = CATALOG.get("pure_water")
+        oil = CATALOG.get("oil")
+        blend = mixture(water, oil, 0.5)
+        omega = material_feature_theory(blend)
+        lo = material_feature_theory(oil)
+        hi = material_feature_theory(water)
+        assert lo < omega < hi
+
+    def test_permittivity_monotone_in_fraction(self):
+        water = CATALOG.get("pure_water")
+        oil = CATALOG.get("oil")
+        values = [
+            mixture(water, oil, f).eps_real for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_default_name(self):
+        blend = mixture(CATALOG.get("milk"), CATALOG.get("oil"), 0.3)
+        assert blend.name == "mix_milk_oil_0.3"
+
+    def test_custom_name(self):
+        blend = mixture(
+            CATALOG.get("milk"), CATALOG.get("oil"), 0.3, name="latte"
+        )
+        assert blend.name == "latte"
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            mixture(CATALOG.get("milk"), CATALOG.get("oil"), 1.5)
+
+    def test_conductivity_linear(self):
+        salty = CATALOG.get("soy")
+        oil = CATALOG.get("oil")
+        blend = mixture(salty, oil, 0.5)
+        assert blend.conductivity == pytest.approx(salty.conductivity / 2)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_mixture_always_valid_material(self, fraction):
+        blend = mixture(CATALOG.get("pure_water"), CATALOG.get("oil"), fraction)
+        assert blend.eps_real >= 1.0
+        assert blend.eps_imag >= 0.0
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.sampled_from(["milk", "soy", "honey", "liquor"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_feature_within_component_envelope(self, fraction, other_name):
+        water = CATALOG.get("pure_water")
+        other = CATALOG.get(other_name)
+        blend = mixture(water, other, fraction)
+        omega = material_feature_theory(blend)
+        bounds = sorted(
+            (material_feature_theory(water), material_feature_theory(other))
+        )
+        # Lichtenecker mixing is not exactly linear in Omega, but the
+        # mixture stays within (a small tolerance of) the envelope.
+        assert bounds[0] - 0.02 <= omega <= bounds[1] + 0.02
+
+
+class TestExtensionExperiments:
+    def test_multi_material_reports_pure_labels(self):
+        from repro.experiments.figures import multi_material_limitation
+
+        result = multi_material_limitation(repetitions=4, seed=0, fractions=(0.5,))
+        info = result["water_fraction_0.5"]
+        assert info["reported_as"] in {"pure_water", "oil", "milk", "soy"}
+
+    def test_multi_link_fusion_shape(self):
+        from repro.experiments.figures import multi_link_fusion
+
+        result = multi_link_fusion(repetitions=4, seed=0, num_links=2)
+        assert len(result["per_link"]) == 2
+        assert 0.0 <= result["fused"] <= 1.0
+
+    def test_multi_link_invalid_count(self):
+        from repro.experiments.figures import multi_link_fusion
+
+        with pytest.raises(ValueError, match="num_links"):
+            multi_link_fusion(num_links=0)
+
+
+class TestConfidence:
+    @staticmethod
+    def _fitted_wimi(seed=2):
+        from repro.core.feature import theory_reference_omegas
+        from repro.core.pipeline import WiMi
+        from repro.csi.collector import DataCollector
+        from repro.experiments.datasets import standard_scene
+
+        mats = [CATALOG.get(n) for n in ("pure_water", "oil", "milk", "soy")]
+        collector = DataCollector(standard_scene("lab"), rng=seed)
+        wimi = WiMi(theory_reference_omegas(mats))
+        wimi.fit([s for m in mats for s in collector.collect_many(m, 6)])
+        return wimi, collector
+
+    def test_pure_material_high_confidence(self):
+        wimi, collector = self._fitted_wimi()
+        name, conf = wimi.identify_with_confidence(
+            collector.collect(CATALOG.get("soy"))
+        )
+        assert name == "soy"
+        assert conf > 0.5
+
+    def test_mixture_lower_confidence_than_components(self):
+        wimi, collector = self._fitted_wimi()
+        _, conf_pure = wimi.identify_with_confidence(
+            collector.collect(CATALOG.get("milk"))
+        )
+        blend = mixture(CATALOG.get("pure_water"), CATALOG.get("milk"), 0.5)
+        _, conf_blend = wimi.identify_with_confidence(collector.collect(blend))
+        assert conf_blend < conf_pure
+
+    def test_confidence_in_unit_interval(self):
+        wimi, collector = self._fitted_wimi()
+        for name in ("pure_water", "oil"):
+            _, conf = wimi.identify_with_confidence(
+                collector.collect(CATALOG.get(name))
+            )
+            assert 0.0 <= conf <= 1.0
+
+    def test_unfitted_raises(self):
+        from repro.core.feature import theory_reference_omegas
+        from repro.core.pipeline import WiMi
+        from repro.csi.collector import DataCollector
+        from repro.experiments.datasets import standard_scene
+
+        mats = [CATALOG.get("pure_water"), CATALOG.get("oil")]
+        wimi = WiMi(theory_reference_omegas(mats))
+        collector = DataCollector(standard_scene("lab"), rng=0)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            wimi.identify_with_confidence(collector.collect(mats[0]))

@@ -1,0 +1,70 @@
+"""Tests for the multiclass SVM wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.multiclass import OneVsOneSVC, OneVsRestSVC, SVC
+
+
+def _three_blobs(n=25, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0, 0], [6, 0], [0, 6]])
+    xs, ys = [], []
+    for label, c in zip("abc", centres):
+        xs.append(rng.standard_normal((n, 2)) + c)
+        ys.extend([label] * n)
+    return np.vstack(xs), np.array(ys)
+
+
+class TestOneVsOne:
+    def test_three_classes(self):
+        x, y = _three_blobs()
+        clf = OneVsOneSVC().fit(x, y)
+        assert np.mean(clf.predict(x) == y) >= 0.97
+
+    def test_classes_property(self):
+        x, y = _three_blobs()
+        clf = OneVsOneSVC().fit(x, y)
+        assert set(clf.classes_) == {"a", "b", "c"}
+
+    def test_string_and_preserved_dtype(self):
+        x, y = _three_blobs()
+        preds = OneVsOneSVC().fit(x, y).predict(x[:3])
+        assert all(isinstance(p, str) for p in preds.tolist())
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            OneVsOneSVC().fit(np.zeros((4, 2)), np.array(["a"] * 4))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            OneVsOneSVC().predict(np.zeros((1, 2)))
+
+    def test_svc_alias(self):
+        assert SVC is OneVsOneSVC
+
+    def test_linear_kernel_option(self):
+        x, y = _three_blobs()
+        clf = OneVsOneSVC(kernel="linear").fit(x, y)
+        assert np.mean(clf.predict(x) == y) >= 0.95
+
+
+class TestOneVsRest:
+    def test_three_classes(self):
+        x, y = _three_blobs()
+        clf = OneVsRestSVC().fit(x, y)
+        assert np.mean(clf.predict(x) == y) >= 0.95
+
+    def test_agreement_with_ovo_on_easy_data(self):
+        x, y = _three_blobs()
+        ovo = OneVsOneSVC().fit(x, y).predict(x)
+        ovr = OneVsRestSVC().fit(x, y).predict(x)
+        assert np.mean(ovo == ovr) >= 0.95
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            OneVsRestSVC().predict(np.zeros((1, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            OneVsRestSVC().fit(np.zeros((0, 2)), np.array([]))

@@ -1,0 +1,157 @@
+"""Tests for the ray-based multipath channel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import LinkGeometry
+from repro.channel.multipath import MultipathChannel, Path, random_paths
+from repro.csi.subcarriers import subcarrier_frequencies
+
+
+@pytest.fixture
+def geometry():
+    return LinkGeometry(distance=2.0)
+
+
+@pytest.fixture
+def frequencies():
+    return subcarrier_frequencies(5.32e9)
+
+
+class TestPath:
+    def test_delay_includes_extra(self):
+        p = Path(reflector=(1.0, 1.0), gain=0.1, extra_delay_s=10e-9)
+        base = Path(reflector=(1.0, 1.0), gain=0.1)
+        tx, rx = (0.0, 0.0), (2.0, 0.0)
+        assert p.delay_to(tx, rx) == pytest.approx(base.delay_to(tx, rx) + 10e-9)
+
+    def test_reflected_longer_than_los(self, geometry):
+        p = Path(reflector=(1.0, 2.0), gain=0.1)
+        tx = geometry.tx_position
+        rx = geometry.rx_positions()[0]
+        los = math.hypot(rx[0] - tx[0], rx[1] - tx[1]) / 299792458.0
+        assert p.delay_to(tx, rx) > los
+
+    def test_invalid_gain_rejected(self):
+        with pytest.raises(ValueError, match="gain"):
+            Path(reflector=(0, 1), gain=-0.1)
+
+    def test_invalid_extra_delay_rejected(self):
+        with pytest.raises(ValueError, match="extra_delay"):
+            Path(reflector=(0, 1), gain=0.1, extra_delay_s=-1e-9)
+
+
+class TestChannel:
+    def test_los_response_unit_amplitude(self, geometry, frequencies):
+        channel = MultipathChannel(geometry, [])
+        h = channel.los_response(frequencies)
+        np.testing.assert_allclose(np.abs(h), 1.0)
+
+    def test_empty_channel_reflections_zero(self, geometry, frequencies):
+        channel = MultipathChannel(geometry, [])
+        np.testing.assert_allclose(
+            channel.reflection_response(frequencies), 0.0
+        )
+
+    def test_total_equals_los_plus_reflections(self, geometry, frequencies):
+        paths = [Path(reflector=(1.0, 1.5), gain=0.2)]
+        channel = MultipathChannel(geometry, paths)
+        total = channel.total_response(frequencies)
+        parts = channel.los_response(frequencies) + channel.reflection_response(
+            frequencies
+        )
+        np.testing.assert_allclose(total, parts)
+
+    def test_scalar_multiplier(self, geometry, frequencies):
+        channel = MultipathChannel(geometry, [])
+        h = channel.total_response(frequencies, los_multiplier=0.5j)
+        np.testing.assert_allclose(np.abs(h), 0.5)
+
+    def test_per_antenna_multiplier(self, geometry, frequencies):
+        channel = MultipathChannel(geometry, [])
+        mult = np.array([1.0, 0.5, 0.25])
+        h = channel.total_response(frequencies, los_multiplier=mult)
+        np.testing.assert_allclose(np.abs(h[:, 1]), 0.5)
+
+    def test_wrong_multiplier_shape_rejected(self, geometry, frequencies):
+        channel = MultipathChannel(geometry, [])
+        with pytest.raises(ValueError, match="antennas"):
+            channel.total_response(frequencies, los_multiplier=np.ones(2))
+
+    def test_reflection_gain_scales(self, geometry, frequencies):
+        p = Path(reflector=(0.7, 1.2), gain=0.3)
+        channel = MultipathChannel(geometry, [p])
+        r1 = channel.reflection_response(frequencies)
+        r2 = channel.reflection_response(
+            frequencies, gain_factors=np.array([2.0])
+        )
+        np.testing.assert_allclose(r2, 2.0 * r1)
+
+    def test_phase_offsets_rotate(self, geometry, frequencies):
+        p = Path(reflector=(0.7, 1.2), gain=0.3)
+        channel = MultipathChannel(geometry, [p])
+        r1 = channel.reflection_response(frequencies)
+        r2 = channel.reflection_response(
+            frequencies, phase_offsets=np.array([np.pi])
+        )
+        np.testing.assert_allclose(r2, -r1, atol=1e-12)
+
+    def test_with_phase_drift_preserves_structure(self, geometry):
+        rng = np.random.default_rng(0)
+        paths = random_paths(geometry, 5, (0.05, 0.1), rng)
+        channel = MultipathChannel(geometry, paths)
+        drifted = channel.with_phase_drift(rng, 0.2)
+        assert len(drifted.paths) == 5
+        for old, new in zip(channel.paths, drifted.paths):
+            assert old.reflector == new.reflector
+            assert old.gain == new.gain
+            assert old.static_phase != new.static_phase
+
+    def test_zero_drift_identical_phases(self, geometry):
+        rng = np.random.default_rng(1)
+        paths = random_paths(geometry, 3, (0.05, 0.1), rng)
+        channel = MultipathChannel(geometry, paths)
+        drifted = channel.with_phase_drift(rng, 0.0)
+        for old, new in zip(channel.paths, drifted.paths):
+            assert old.static_phase == new.static_phase
+
+    def test_negative_drift_rejected(self, geometry):
+        channel = MultipathChannel(geometry, [])
+        with pytest.raises(ValueError, match="sigma"):
+            channel.with_phase_drift(np.random.default_rng(0), -0.1)
+
+
+class TestRandomPaths:
+    def test_count_and_gain_bounds(self, geometry):
+        rng = np.random.default_rng(2)
+        paths = random_paths(geometry, 7, (0.05, 0.2), rng)
+        assert len(paths) == 7
+        for p in paths:
+            assert 0.0 <= p.gain <= 0.2
+
+    def test_avoids_los_corridor(self, geometry):
+        rng = np.random.default_rng(3)
+        for p in random_paths(geometry, 20, (0.1, 0.2), rng):
+            assert abs(p.reflector[1]) >= 0.3
+
+    def test_delay_spread_produces_frequency_selectivity(
+        self, geometry, frequencies
+    ):
+        rng = np.random.default_rng(4)
+        paths = random_paths(
+            geometry, 8, (0.1, 0.2), rng, delay_spread_s=80e-9
+        )
+        channel = MultipathChannel(geometry, paths)
+        mags = np.abs(channel.reflection_response(frequencies)[:, 0])
+        assert mags.max() > 2.0 * mags.min()
+
+    def test_invalid_inputs(self, geometry):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError, match="num_paths"):
+            random_paths(geometry, -1, (0.1, 0.2), rng)
+        with pytest.raises(ValueError, match="gain range"):
+            random_paths(geometry, 2, (0.3, 0.1), rng)
+        with pytest.raises(ValueError, match="delay_spread"):
+            random_paths(geometry, 2, (0.1, 0.2), rng, delay_spread_s=-1.0)

@@ -1,0 +1,161 @@
+"""Tests for circular and robust statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.stats import (
+    angular_spread_deg,
+    circular_difference,
+    circular_mean,
+    circular_std,
+    circular_variance,
+    mad,
+    phase_difference_variance,
+    resultant_length,
+    robust_sigma,
+    sample_variance,
+    wrap_phase,
+)
+
+
+class TestCircularMean:
+    def test_simple_cluster(self):
+        angles = np.array([0.1, -0.1, 0.05, -0.05])
+        assert circular_mean(angles) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cluster_at_pi_boundary(self):
+        # A cluster straddling +/- pi must not average to ~0.
+        angles = np.array([math.pi - 0.1, -math.pi + 0.1])
+        mean = circular_mean(angles)
+        assert abs(abs(mean) - math.pi) < 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([]))
+
+    def test_single_angle(self):
+        assert circular_mean(np.array([1.3])) == pytest.approx(1.3)
+
+
+class TestSpreadMeasures:
+    def test_resultant_length_concentrated(self):
+        assert resultant_length(np.full(10, 0.7)) == pytest.approx(1.0)
+
+    def test_resultant_length_uniform(self):
+        angles = np.linspace(-math.pi, math.pi, 100, endpoint=False)
+        assert resultant_length(angles) == pytest.approx(0.0, abs=1e-10)
+
+    def test_circular_variance_bounds(self):
+        rng = np.random.default_rng(0)
+        angles = rng.uniform(-math.pi, math.pi, 50)
+        v = circular_variance(angles)
+        assert 0.0 <= v <= 1.0
+
+    def test_circular_std_small_cluster_matches_linear(self):
+        rng = np.random.default_rng(1)
+        angles = rng.normal(0.5, 0.05, 2000)
+        assert circular_std(angles) == pytest.approx(0.05, rel=0.1)
+
+    def test_circular_std_uniform_is_inf_capped_in_degrees(self):
+        angles = np.linspace(-math.pi, math.pi, 64, endpoint=False)
+        assert angular_spread_deg(angles) == 180.0
+
+    def test_angular_spread_18_degrees(self):
+        # The paper's "~18 degrees" spread corresponds to sigma ~0.31 rad.
+        rng = np.random.default_rng(2)
+        angles = rng.normal(1.0, math.radians(18.0), 5000)
+        assert angular_spread_deg(angles) == pytest.approx(18.0, rel=0.1)
+
+
+class TestWrapping:
+    def test_wrap_scalar(self):
+        assert wrap_phase(3 * math.pi) == pytest.approx(math.pi, abs=1e-9)
+
+    def test_wrap_array(self):
+        out = wrap_phase(np.array([0.0, 2 * math.pi, -2 * math.pi]))
+        np.testing.assert_allclose(out, 0.0, atol=1e-9)
+
+    def test_wrap_range(self):
+        rng = np.random.default_rng(3)
+        out = wrap_phase(rng.uniform(-20, 20, 100))
+        assert np.all(out <= math.pi + 1e-12)
+        assert np.all(out > -math.pi - 1e-12)
+
+    def test_circular_difference_shortest_path(self):
+        a = np.array([math.pi - 0.05])
+        b = np.array([-math.pi + 0.05])
+        np.testing.assert_allclose(
+            circular_difference(a, b), [-0.1], atol=1e-9
+        )
+
+
+class TestRobustStats:
+    def test_mad_of_constant_is_zero(self):
+        assert mad(np.full(10, 4.2)) == 0.0
+
+    def test_mad_ignores_single_outlier(self):
+        x = np.array([1.0, 1.1, 0.9, 1.05, 0.95, 100.0])
+        assert mad(x) < 0.2
+
+    def test_robust_sigma_gaussian_consistent(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 2.0, 20000)
+        assert robust_sigma(x) == pytest.approx(2.0, rel=0.05)
+
+    def test_mad_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mad(np.array([]))
+
+    def test_sample_variance_matches_numpy(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert sample_variance(x) == pytest.approx(np.var(x))
+
+
+class TestPhaseDifferenceVariance:
+    def test_matches_linear_for_small_cluster(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0.3, 0.1, 500)
+        assert phase_difference_variance(x) == pytest.approx(
+            np.var(x), rel=0.05
+        )
+
+    def test_boundary_cluster_not_torn(self):
+        # Values straddling +/-pi: linear variance would be ~pi^2; the
+        # circular-safe version must report the true small spread.
+        rng = np.random.default_rng(6)
+        x = wrap_phase(math.pi + rng.normal(0, 0.05, 500))
+        assert phase_difference_variance(np.asarray(x)) < 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            phase_difference_variance(np.array([]))
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-3.1, max_value=3.1), min_size=1, max_size=50
+        ),
+        st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_circular_mean_rotation_equivariant(self, data, shift):
+        angles = np.array(data)
+        m1 = circular_mean(angles)
+        m2 = circular_mean(np.asarray(wrap_phase(angles + shift)))
+        diff = circular_difference(np.array([m2]), np.array([m1 + shift]))
+        assert abs(diff[0]) < 1e-6
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mad_translation_invariant(self, data):
+        x = np.array(data)
+        assert mad(x + 7.5) == pytest.approx(mad(x), abs=1e-9)

@@ -1,0 +1,71 @@
+"""Tests for the 802.11n subcarrier layout."""
+
+import numpy as np
+import pytest
+
+from repro.csi.subcarriers import (
+    INTEL5300_NUM_SUBCARRIERS,
+    SUBCARRIER_SPACING_HZ,
+    intel5300_subcarrier_indices,
+    subcarrier_frequencies,
+    validate_subcarrier_selection,
+)
+
+
+class TestIndices:
+    def test_thirty_reported(self):
+        assert intel5300_subcarrier_indices().size == INTEL5300_NUM_SUBCARRIERS
+
+    def test_symmetric_band_edges(self):
+        idx = intel5300_subcarrier_indices()
+        assert idx[0] == -28
+        assert idx[-1] == 28
+
+    def test_no_dc_subcarrier(self):
+        assert 0 not in intel5300_subcarrier_indices()
+
+    def test_strictly_increasing(self):
+        idx = intel5300_subcarrier_indices()
+        assert np.all(np.diff(idx) > 0)
+
+
+class TestFrequencies:
+    def test_centre_and_span(self):
+        freqs = subcarrier_frequencies(5.32e9)
+        assert freqs.min() == pytest.approx(5.32e9 - 28 * SUBCARRIER_SPACING_HZ)
+        assert freqs.max() == pytest.approx(5.32e9 + 28 * SUBCARRIER_SPACING_HZ)
+
+    def test_band_width_is_17_5_mhz(self):
+        freqs = subcarrier_frequencies(5.32e9)
+        assert freqs.max() - freqs.min() == pytest.approx(56 * 312.5e3)
+
+    def test_custom_indices(self):
+        freqs = subcarrier_frequencies(5.0e9, indices=np.array([-1, 1]))
+        np.testing.assert_allclose(
+            freqs, [5.0e9 - 312.5e3, 5.0e9 + 312.5e3]
+        )
+
+    def test_invalid_carrier_rejected(self):
+        with pytest.raises(ValueError, match="carrier"):
+            subcarrier_frequencies(0.0)
+
+    def test_invalid_spacing_rejected(self):
+        with pytest.raises(ValueError, match="spacing"):
+            subcarrier_frequencies(5e9, spacing_hz=0.0)
+
+
+class TestSelectionValidation:
+    def test_valid_selection(self):
+        assert validate_subcarrier_selection([0, 5, 29]) == [0, 5, 29]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_subcarrier_selection([1, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_subcarrier_selection([30])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_subcarrier_selection([])

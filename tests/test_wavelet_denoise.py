@@ -1,0 +1,99 @@
+"""Tests for the spatially-selective wavelet denoiser (Eq. 8-13)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.wavelet_denoise import (
+    SpatiallySelectiveDenoiser,
+    remove_outliers,
+    wavelet_denoise,
+)
+
+
+class TestOutlierRemoval:
+    def test_flags_extreme_samples(self):
+        x = np.ones(50)
+        x[10] = 50.0
+        cleaned, mask = remove_outliers(x)
+        assert mask[10]
+        assert mask.sum() == 1
+        assert cleaned[10] == pytest.approx(1.0)
+
+    def test_clean_signal_untouched(self):
+        rng = np.random.default_rng(0)
+        x = 1.0 + 0.01 * rng.standard_normal(100)
+        cleaned, mask = remove_outliers(x)
+        assert not mask.any()
+        np.testing.assert_allclose(cleaned, x)
+
+    def test_constant_signal(self):
+        cleaned, mask = remove_outliers(np.full(10, 2.0))
+        assert not mask.any()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            remove_outliers(np.array([]))
+        with pytest.raises(ValueError, match="num_sigmas"):
+            remove_outliers(np.ones(5), num_sigmas=0.0)
+        with pytest.raises(ValueError, match="1-D"):
+            remove_outliers(np.ones((2, 2)))
+
+
+class TestDenoiser:
+    def test_removes_impulse_spikes(self):
+        rng = np.random.default_rng(1)
+        truth = np.full(64, 1.0)
+        noisy = truth.copy()
+        spikes = rng.choice(64, size=5, replace=False)
+        noisy[spikes] += rng.choice([-0.5, 0.5], size=5)
+        out = wavelet_denoise(noisy)
+        assert np.sqrt(np.mean((out - truth) ** 2)) < np.sqrt(
+            np.mean((noisy - truth) ** 2)
+        )
+
+    def test_short_series_passthrough(self):
+        denoiser = SpatiallySelectiveDenoiser()
+        x = np.array([1.0, 2.0, 1.5])
+        out = denoiser.correlation_filter(x)
+        np.testing.assert_allclose(out, x)
+
+    def test_constant_preserved(self):
+        out = wavelet_denoise(np.full(32, 3.0))
+        np.testing.assert_allclose(out, 3.0, atol=1e-9)
+
+    def test_output_length_matches(self):
+        rng = np.random.default_rng(2)
+        for n in (16, 20, 33, 64):
+            x = 1.0 + 0.1 * rng.standard_normal(n)
+            assert wavelet_denoise(x).size == n
+
+    def test_reduces_noise_energy_on_impulse_bursts(self):
+        rng = np.random.default_rng(3)
+        truth = 1.0 + 0.05 * np.sin(np.linspace(0, 4 * np.pi, 128))
+        noisy = truth.copy()
+        # Bursts: consecutive corrupted samples.
+        for start in (20, 60, 100):
+            noisy[start : start + 3] += rng.uniform(0.3, 0.6, 3)
+        out = wavelet_denoise(noisy)
+        err_out = np.mean((out - truth) ** 2)
+        err_in = np.mean((noisy - truth) ** 2)
+        assert err_out < err_in / 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError, match="levels"):
+            SpatiallySelectiveDenoiser(levels=0)
+        with pytest.raises(KeyError, match="unknown wavelet"):
+            SpatiallySelectiveDenoiser(wavelet_name="db99")
+        with pytest.raises(ValueError, match="max_iterations"):
+            SpatiallySelectiveDenoiser(max_iterations=0)
+
+    def test_denoise_combines_stages(self):
+        # A huge outlier plus impulse noise: both stages must engage.
+        rng = np.random.default_rng(4)
+        truth = np.full(40, 1.0)
+        noisy = truth + 0.02 * rng.standard_normal(40)
+        noisy[5] = 10.0       # outlier (3-sigma stage)
+        noisy[20] += 0.4      # impulse (wavelet stage)
+        out = SpatiallySelectiveDenoiser().denoise(noisy)
+        assert abs(out[5] - 1.0) < 0.5
+        assert np.max(np.abs(out - truth)) < 0.5
