@@ -1,0 +1,85 @@
+"""Perf: stage-graph memoization of repeated extraction.
+
+Counts *real* denoiser stage executions via a
+:class:`repro.engine.StageCounter` hook.  The first ``extract_batch``
+over a deployment pays one denoiser pass per trace; repeating the exact
+same extraction must be served entirely from the stage cache (>= 5x
+fewer denoiser invocations; in fact zero).
+"""
+
+from conftest import repetitions
+
+from repro.channel.materials import default_catalog
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.engine import StageCounter
+from repro.experiments.datasets import (
+    collect_dataset,
+    split_dataset,
+    standard_scene,
+)
+
+
+def _deployment(seed, reps):
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in ("pure_water", "pepsi", "oil")]
+    dataset = collect_dataset(
+        materials,
+        scene=standard_scene("lab"),
+        repetitions=reps,
+        num_packets=10,
+        seed=seed,
+    )
+    train, test = split_dataset(dataset)
+    return theory_reference_omegas(materials), train, test
+
+
+def test_repeat_extract_hits_stage_cache(benchmark, seed):
+    refs, train, test = _deployment(seed, repetitions(6, 10))
+    wimi = WiMi(refs)
+    counter = StageCounter()
+    wimi.engine.add_hook(counter)
+    wimi.calibrate(train)
+
+    counter.reset()
+    wimi.extract_batch(test)
+    first_pass = counter.executions.get("amplitude_denoise", 0)
+
+    def repeat():
+        counter.reset()
+        wimi.extract_batch(test)
+        return counter.executions.get("amplitude_denoise", 0)
+
+    second_pass = benchmark.pedantic(repeat, rounds=3, iterations=1)
+
+    print()
+    print(
+        f"denoiser executions: first pass {first_pass}, "
+        f"repeat pass {second_pass} "
+        f"(hit rate {wimi.cache.stats['amplitude_denoise'].hit_rate:.1%})"
+    )
+    # Cold pass really denoises (both traces of every test session).
+    assert first_pass >= len(test)
+    # Warm pass must do >= 5x fewer denoiser invocations (zero, in fact).
+    assert second_pass <= first_pass / 5
+    assert second_pass == 0
+
+
+def test_shared_cache_across_instances(benchmark, seed):
+    refs, train, test = _deployment(seed, repetitions(6, 10))
+    first = WiMi(refs)
+    first.fit(train)
+    first.identify_batch(test)
+
+    def sweep():
+        sibling = WiMi(refs, cache=first.cache)
+        counter = StageCounter()
+        sibling.engine.add_hook(counter)
+        sibling.fit(train)
+        sibling.identify_batch(test)
+        return counter.executions.get("amplitude_denoise", 0)
+
+    redone = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print()
+    print(f"denoiser executions in cache-sharing sibling: {redone}")
+    assert redone == 0

@@ -66,6 +66,7 @@ from repro.csi import (
     SessionConfig,
     SimulationScene,
 )
+from repro.engine import PipelineEngine, StageCache, StageCounter, StageEvent
 
 __version__ = "1.0.0"
 
@@ -89,8 +90,12 @@ __all__ = [
     "MaterialDatabase",
     "MaterialFeatureExtractor",
     "PhaseCalibrator",
+    "PipelineEngine",
     "SessionConfig",
     "SimulationScene",
+    "StageCache",
+    "StageCounter",
+    "StageEvent",
     "SubcarrierSelector",
     "WiMi",
     "WiMiConfig",

@@ -6,9 +6,12 @@ Usage::
     python -m repro fig15                # ten-liquid confusion matrix
     python -m repro fig17 --seed 3       # distance sweep, another deployment
     python -m repro all --seed 1         # everything, in order
+    python -m repro bench-cache          # stage-cache hit rates
 
-Every command prints the same rows/series the paper's figure plots, via
-:mod:`repro.experiments.reporting`.
+Every figure command prints the same rows/series the paper's figure
+plots, via :mod:`repro.experiments.reporting`.  ``bench-cache`` runs a
+small identification workload through the stage-graph engine twice and
+reports per-stage memoization hit rates.
 """
 
 from __future__ import annotations
@@ -142,6 +145,63 @@ def _fig21(args) -> str:
     )
 
 
+def _bench_cache(args) -> str:
+    """``repro bench-cache``: report stage-graph memoization hit rates.
+
+    Runs a small fit + identify workload, then identifies the same test
+    sessions a second time, and prints per-stage executions vs cache
+    hits.  The second pass must execute zero denoiser/calibrator stages.
+    """
+    from repro.channel.materials import default_catalog
+    from repro.core.feature import theory_reference_omegas
+    from repro.core.pipeline import WiMi
+    from repro.engine import StageCounter
+    from repro.experiments.datasets import (
+        collect_dataset,
+        split_dataset,
+        standard_scene,
+    )
+
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in ("pure_water", "pepsi", "oil")]
+    dataset = collect_dataset(
+        materials, scene=standard_scene("lab"), repetitions=6,
+        num_packets=10, seed=args.seed,
+    )
+    train, test = split_dataset(dataset)
+
+    wimi = WiMi(theory_reference_omegas(materials))
+    counter = StageCounter()
+    wimi.engine.add_hook(counter)
+
+    wimi.fit(train)
+    first = wimi.identify_batch(test)
+    pass1_denoise = counter.executions.get("amplitude_denoise", 0)
+    counter.reset()
+    second = wimi.identify_batch(test)
+    pass2_denoise = counter.executions.get("amplitude_denoise", 0)
+
+    lines = [
+        f"bench-cache -- stage memoization over one deployment "
+        f"(seed {args.seed}, {len(train)} train / {len(test)} test)",
+        f"  {'stage':<22} {'executions':>10} {'hits':>8} {'hit rate':>9}",
+    ]
+    for stage, stats in sorted(wimi.cache.snapshot().items()):
+        lines.append(
+            f"  {stage:<22} {stats['misses']:>10d} {stats['hits']:>8d} "
+            f"{stats['hit_rate']:>8.1%}"
+        )
+    lines.append(
+        f"  denoiser stage executions: first identify pass "
+        f"{pass1_denoise}, repeat pass {pass2_denoise}"
+    )
+    lines.append(
+        "  repeat-pass predictions identical: "
+        f"{'yes' if first == second else 'NO'}"
+    )
+    return "\n".join(lines)
+
+
 #: Command registry: name -> (runner, description).
 COMMANDS = {
     "fig02": (_fig02, "phase calibration microbenchmark (also Fig. 12)"),
@@ -171,8 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=sorted(COMMANDS) + ["list", "all"],
-        help="figure to regenerate, 'list' to enumerate, 'all' for everything",
+        choices=sorted(COMMANDS) + ["list", "all", "bench-cache"],
+        help=(
+            "figure to regenerate, 'list' to enumerate, 'all' for every "
+            "figure, 'bench-cache' for stage-cache hit rates"
+        ),
     )
     parser.add_argument(
         "--seed", type=int, default=1, help="deployment seed (default 1)"
@@ -187,6 +250,10 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in COMMANDS)
         for name in sorted(COMMANDS):
             print(f"{name:<{width}}  {COMMANDS[name][1]}")
+        print(f"{'bench-cache':<{width}}  stage-graph memoization hit rates")
+        return 0
+    if args.command == "bench-cache":
+        print(_bench_cache(args))
         return 0
     names = sorted(COMMANDS) if args.command == "all" else [args.command]
     for name in names:

@@ -55,7 +55,7 @@ class AmplitudeProcessor:
         key = id(trace)
         if key in self._cache:
             return self._cache[key]
-        cleaned = self._clean_amplitudes_uncached(trace)
+        cleaned = self.compute_clean_amplitudes(trace)
         self._cache[key] = cleaned
         self._cache_order.append(key)
         if len(self._cache_order) > 64:
@@ -63,7 +63,15 @@ class AmplitudeProcessor:
             self._cache.pop(oldest, None)
         return cleaned
 
-    def _clean_amplitudes_uncached(self, trace: CsiTrace) -> np.ndarray:
+    def compute_clean_amplitudes(self, trace: CsiTrace) -> np.ndarray:
+        """Uncached denoising pass over one trace, shape ``(M, K, A)``.
+
+        This is the single entry point the stage-graph engine's
+        ``amplitude_denoise`` stage calls: the engine memoizes the result
+        in its :class:`repro.engine.cache.StageCache` (keyed by the
+        trace's *content* hash, not object identity), so every denoiser
+        invocation in the engine path is observable through stage hooks.
+        """
         amps = trace.amplitudes()
         if amps.size == 0:
             raise ValueError("empty trace")
@@ -102,6 +110,28 @@ class AmplitudeProcessor:
         feature consumes ``ln`` of it anyway).
         """
         ratio = self.amplitude_ratio(trace, pair)
+        return np.exp(np.mean(np.log(ratio), axis=0))
+
+    @staticmethod
+    def averaged_ratio_from_clean(
+        cleaned: np.ndarray, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """:meth:`averaged_amplitude_ratio` from a precomputed clean cube.
+
+        Lets the stage-graph engine form every antenna pair's ratio from
+        one cached denoiser pass: ``cleaned`` is the ``(M, K, A)`` output
+        of :meth:`compute_clean_amplitudes`.
+        """
+        i, j = pair
+        if i == j:
+            raise ValueError(f"antenna pair must be distinct, got {pair}")
+        num_antennas = cleaned.shape[2]
+        for a in (i, j):
+            if not 0 <= a < num_antennas:
+                raise ValueError(
+                    f"antenna {a} out of range [0, {num_antennas})"
+                )
+        ratio = cleaned[:, :, i] / cleaned[:, :, j]
         return np.exp(np.mean(np.log(ratio), axis=0))
 
     # ------------------------------------------------------------------

@@ -371,6 +371,32 @@ class MaterialFeatureExtractor:
 
     # ------------------------------------------------------------------
 
+    def phase_observable(
+        self, session: CaptureSession, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """Per-subcarrier Eq. 18 wrapped phase change, shape ``(K,)``.
+
+        In the paper's sign convention: measured CSI phase decreases with
+        delay, so the raw difference is negated once.
+        """
+        base_pd = self.calibrator.averaged_phase_difference(
+            session.baseline, pair
+        )
+        tar_pd = self.calibrator.averaged_phase_difference(session.target, pair)
+        return -np.asarray(wrap_phase(tar_pd - base_pd))
+
+    def amplitude_observable(
+        self, session: CaptureSession, pair: tuple[int, int]
+    ) -> np.ndarray:
+        """Per-subcarrier Eq. 19 ``-ln DeltaPsi``, shape ``(K,)``."""
+        base_ratio = self.amplitude.averaged_amplitude_ratio(
+            session.baseline, pair
+        )
+        tar_ratio = self.amplitude.averaged_amplitude_ratio(
+            session.target, pair
+        )
+        return -np.log(tar_ratio / base_ratio)
+
     def pair_observables(
         self,
         session: CaptureSession,
@@ -379,24 +405,12 @@ class MaterialFeatureExtractor:
         """Per-subcarrier ``(theta_wrapped, -ln DeltaPsi)`` for one pair.
 
         ``theta_wrapped`` is the Eq. 18 phase change in the paper's sign
-        convention (measured CSI phase decreases with delay, so the raw
-        difference is negated once); ``-ln DeltaPsi`` is the Eq. 19
-        amplitude observable.
+        convention; ``-ln DeltaPsi`` is the Eq. 19 amplitude observable.
         """
-        base_pd = self.calibrator.averaged_phase_difference(
-            session.baseline, pair
+        return (
+            self.phase_observable(session, pair),
+            self.amplitude_observable(session, pair),
         )
-        tar_pd = self.calibrator.averaged_phase_difference(session.target, pair)
-        theta_wrapped_all = -np.asarray(wrap_phase(tar_pd - base_pd))
-
-        base_ratio = self.amplitude.averaged_amplitude_ratio(
-            session.baseline, pair
-        )
-        tar_ratio = self.amplitude.averaged_amplitude_ratio(
-            session.target, pair
-        )
-        neg_log_psi_all = -np.log(tar_ratio / base_ratio)
-        return theta_wrapped_all, neg_log_psi_all
 
     def measure(
         self,
@@ -419,12 +433,56 @@ class MaterialFeatureExtractor:
                 ground-truth Omega-bar -- gamma is then resolved exactly,
                 which is how the labelled feature database is built.
         """
-        if not subcarriers:
-            raise ValueError("need at least one selected subcarrier")
-
         theta_wrapped_all, neg_log_psi_all = self.pair_observables(
             session, pair
         )
+        coarse_observables = None
+        if coarse_pair is not None and coarse_pair != pair:
+            coarse_observables = self.pair_observables(session, coarse_pair)
+        return self.measure_from_observables(
+            pair,
+            subcarriers,
+            theta_wrapped_all,
+            neg_log_psi_all,
+            coarse_observables=coarse_observables,
+            true_omega=true_omega,
+            include_coarse_feature=include_coarse_feature,
+            material_name=session.material_name,
+        )
+
+    def measure_from_observables(
+        self,
+        pair: tuple[int, int],
+        subcarriers: list[int],
+        theta_wrapped_all: np.ndarray,
+        neg_log_psi_all: np.ndarray,
+        coarse_observables: tuple[np.ndarray, np.ndarray] | None = None,
+        true_omega: float | None = None,
+        include_coarse_feature: bool = True,
+        material_name: str = "",
+    ) -> FeatureMeasurement:
+        """Extract the feature from precomputed per-pair observables.
+
+        This is the stage-graph entry point: the pipeline engine memoizes
+        :meth:`phase_observable` / :meth:`amplitude_observable` per
+        (session, pair) and feeds the cached arrays here, so repeated
+        extraction never re-runs calibration or denoising.
+
+        Args:
+            pair: Main (precise) antenna pair the observables belong to.
+            subcarriers: Selected good subcarriers (0-based positions).
+            theta_wrapped_all: Eq. 18 wrapped phase change, shape ``(K,)``.
+            neg_log_psi_all: Eq. 19 ``-ln DeltaPsi``, shape ``(K,)``.
+            coarse_observables: The same two arrays for the small-lever
+                coarse pair, or ``None`` when unavailable.
+            true_omega: Ground-truth Omega-bar during training.
+            include_coarse_feature: Append the coarse Omega-bar to the
+                feature vector.
+            material_name: Ground-truth label if known.
+        """
+        if not subcarriers:
+            raise ValueError("need at least one selected subcarrier")
+
         theta_sel = theta_wrapped_all[subcarriers]
         n_sel = neg_log_psi_all[subcarriers]
         psi_sel = np.exp(-n_sel)
@@ -436,13 +494,11 @@ class MaterialFeatureExtractor:
 
         # Coarse-pair estimate (branch-independent feature + gamma anchor).
         omega_coarse = float("nan")
-        if coarse_pair is not None and coarse_pair != pair:
+        if coarse_observables is not None:
             # The coarse pair is aggregated over *all* subcarriers with
             # medians: its own good subcarriers are unknown (selection ran
             # on the main pair) and coarse robustness beats precision here.
-            coarse_theta, coarse_n = self.pair_observables(
-                session, coarse_pair
-            )
+            coarse_theta, coarse_n = coarse_observables
             omega_coarse = coarse_omega_estimate(
                 circular_mean(coarse_theta),
                 float(np.median(coarse_n)),
@@ -488,7 +544,7 @@ class MaterialFeatureExtractor:
             gamma=gamma,
             pair=pair,
             subcarriers=list(subcarriers),
-            material_name=session.material_name,
+            material_name=material_name,
             theta_aligned=theta_aligned,
             neg_log_psi=np.asarray(n_sel),
             omega_coarse=omega_coarse,

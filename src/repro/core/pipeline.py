@@ -1,6 +1,7 @@
 """The end-to-end WiMi system (paper Fig. 5).
 
-:class:`WiMi` wires the modules together:
+:class:`WiMi` is a facade over the stage-graph engine
+(:mod:`repro.engine`), which executes the modules as memoized stages:
 
     CaptureSession
         -> phase calibration (antenna difference)        [core.phase]
@@ -9,6 +10,12 @@
         -> material feature Omega-bar                    [core.feature]
         -> database + classifier                         [core.database]
 
+Every stage result is a typed artifact keyed by a content hash of
+(session bytes, antenna pair, stage-relevant config), so repeated
+``extract``/``identify`` calls -- and experiment sweeps sharing a
+:class:`repro.engine.StageCache` -- never recompute calibration or
+denoising for data they have already seen.
+
 Typical use::
 
     from repro import WiMi, WiMiConfig
@@ -16,9 +23,13 @@ Typical use::
     wimi = WiMi(reference_omegas, WiMiConfig())
     wimi.fit(training_sessions)           # sessions carry labels
     name = wimi.identify(test_session)    # -> "pepsi"
+
+    names = wimi.identify_batch(test_sessions)      # batch variant
 """
 
 from __future__ import annotations
+
+import itertools
 
 import numpy as np
 
@@ -35,6 +46,14 @@ from repro.core.phase import PhaseCalibrator
 from repro.core.subcarrier import SubcarrierSelector
 from repro.csi.collector import CaptureSession
 from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser
+from repro.engine.artifacts import ClassificationArtifact
+from repro.engine.cache import StageCache
+from repro.engine.graph import PipelineEngine
+
+#: Process-wide source of classifier tokens: every (re)fit of any WiMi
+#: instance gets a fresh token, so classification artifacts cached in a
+#: *shared* StageCache can never be served for a different model.
+_CLASSIFIER_TOKENS = itertools.count(1)
 
 
 class WiMi:
@@ -46,12 +65,17 @@ class WiMi:
             the candidate materials, see
             :func:`repro.core.feature.theory_reference_omegas`.
         config: Pipeline configuration; defaults to the paper's choices.
+        cache: Stage-artifact cache.  Defaults to a private cache; pass a
+            shared :class:`repro.engine.StageCache` to reuse calibration
+            and denoising artifacts across several ``WiMi`` instances
+            (e.g. a classifier sweep over one dataset).
     """
 
     def __init__(
         self,
         reference_omegas: dict[str, float] | list[float],
         config: WiMiConfig | None = None,
+        cache: StageCache | None = None,
     ):
         self.config = config if config is not None else WiMiConfig()
         self.calibrator = PhaseCalibrator()
@@ -72,8 +96,16 @@ class WiMi:
             max_gamma=self.config.max_gamma,
             gamma_strategy=self.config.gamma_strategy,
         )
+        self.cache = cache if cache is not None else StageCache()
+        self.engine = PipelineEngine(
+            extractor=self.extractor,
+            subcarrier_selector=self.subcarrier_selector,
+            config=self.config,
+            cache=self.cache,
+        )
         self.database = MaterialDatabase()
         self._classifier: DatabaseClassifier | None = None
+        self._classifier_token: str = ""
         self._pair: tuple[int, int] | None = None
         self._feature_pairs: list[tuple[int, int]] | None = None
         self._coarse_pair: tuple[int, int] | None = None
@@ -131,10 +163,10 @@ class WiMi:
                     self.config.subcarrier_override
                 )
             else:
-                self._subcarriers_by_pair[fp] = (
-                    self.subcarrier_selector.select_pooled(
+                self._subcarriers_by_pair[fp] = list(
+                    self.engine.select_subcarriers(
                         sessions, fp, count=self.config.num_good_subcarriers
-                    )
+                    ).subcarriers
                 )
         self._subcarriers = self._subcarriers_by_pair[pair]
         return self
@@ -170,7 +202,7 @@ class WiMi:
         best_pair = None
         best_n = float("inf")
         for pair in candidates:
-            _, n_all = self.extractor.pair_observables(session, pair)
+            n_all = self.engine.observables(session, pair).neg_log_psi
             magnitude = abs(float(np.mean(n_all)))
             if magnitude < best_n:
                 best_n = magnitude
@@ -189,8 +221,12 @@ class WiMi:
 
     @property
     def calibrated_subcarriers(self) -> list[int] | None:
-        """Subcarriers fixed by :meth:`calibrate` (None before)."""
-        return list(self._subcarriers) if self._subcarriers else None
+        """Subcarriers fixed by :meth:`calibrate` (None before).
+
+        An explicitly calibrated *empty* selection is returned as ``[]``,
+        not ``None`` (``None`` strictly means "calibrate was not run").
+        """
+        return list(self._subcarriers) if self._subcarriers is not None else None
 
     # ------------------------------------------------------------------
     # Feature extraction
@@ -220,11 +256,10 @@ class WiMi:
             return list(self._subcarriers)
         if self.config.subcarrier_override is not None:
             return list(self.config.subcarrier_override)
-        return self.subcarrier_selector.select(
-            session.baseline,
-            session.target,
-            pair,
-            count=self.config.num_good_subcarriers,
+        return list(
+            self.engine.select_subcarriers(
+                [session], pair, count=self.config.num_good_subcarriers
+            ).subcarriers
         )
 
     def _session_pairs(
@@ -236,10 +271,28 @@ class WiMi:
         # Uncalibrated ad-hoc use: just the main pair.
         return [self.choose_pair(session)]
 
+    def _subcarriers_for(
+        self, session: CaptureSession, pair: tuple[int, int]
+    ) -> list[int]:
+        """Calibrated subcarriers for ``pair``, or a fresh selection.
+
+        Uses an explicit ``is None`` check: a legitimately-empty
+        calibrated list must not fall through to re-selection.
+        """
+        selected = self._subcarriers_by_pair.get(pair)
+        if selected is not None:
+            return list(selected)
+        return self.choose_subcarriers(session, pair)
+
     def extract(
         self, session: CaptureSession, true_omega: float | None = None
     ) -> SessionFeatures:
-        """Run the full pre-processing + feature chain on one session."""
+        """Run the full pre-processing + feature chain on one session.
+
+        Every stage is memoized: extracting the same session twice (or
+        extracting it after ``fit`` already saw it) performs zero
+        additional calibrator/denoiser executions.
+        """
         pairs = self._session_pairs(session)
         coarse = self._coarse_pair
         if (
@@ -250,19 +303,16 @@ class WiMi:
             coarse = self._find_coarse_pair(session, pairs[0])
         measurements = []
         for pair in pairs:
-            subcarriers = self._subcarriers_by_pair.get(
-                pair
-            ) or self.choose_subcarriers(session, pair)
-            measurements.append(
-                self.extractor.measure(
-                    session,
-                    pair,
-                    subcarriers,
-                    coarse_pair=coarse,
-                    true_omega=true_omega,
-                    include_coarse_feature=self.config.include_coarse_feature,
-                )
+            subcarriers = self._subcarriers_for(session, pair)
+            artifact = self.engine.extract_feature(
+                session,
+                pair,
+                tuple(subcarriers),
+                coarse_pair=coarse,
+                true_omega=true_omega,
+                include_coarse_feature=self.config.include_coarse_feature,
             )
+            measurements.append(artifact.measurement)
         return SessionFeatures(
             measurements=measurements, material_name=session.material_name
         )
@@ -274,11 +324,74 @@ class WiMi:
         fixed exactly from the material's ground-truth Omega-bar -- this
         is how the paper's feature database is built.
         """
-        true_omega = None
+        return self.extract(session, true_omega=self._true_omega_for(session))
+
+    def _true_omega_for(self, session: CaptureSession) -> float | None:
+        """Ground-truth Omega-bar for a labelled session, if known."""
         refs = self.extractor.reference_omegas
         if isinstance(refs, dict):
-            true_omega = refs.get(session.material_name)
-        return self.extract(session, true_omega=true_omega)
+            return refs.get(session.material_name)
+        return None
+
+    # ------------------------------------------------------------------
+    # Batch APIs
+    # ------------------------------------------------------------------
+
+    def extract_batch(
+        self,
+        sessions: list[CaptureSession],
+        true_omegas: list[float | None] | None = None,
+    ) -> list[SessionFeatures]:
+        """Extract many sessions with one denoiser pass per trace.
+
+        Equivalent to ``[self.extract(s, t) for s, t in zip(...)]`` --
+        the results are bit-identical -- but the denoising stage is
+        warmed for the whole batch up front, so every antenna pair
+        (feature pairs *and* the coarse pair) shares a single cleaned
+        amplitude cube per trace.
+
+        Args:
+            sessions: Sessions to extract.
+            true_omegas: Optional per-session ground-truth Omega-bar
+                values (training mode); ``None`` entries mean unknown.
+        """
+        if true_omegas is None:
+            true_omegas = [None] * len(sessions)
+        if len(true_omegas) != len(sessions):
+            raise ValueError(
+                f"true_omegas length {len(true_omegas)} does not match "
+                f"{len(sessions)} sessions"
+            )
+        # Single denoiser pass per trace: warm the hot stage for the
+        # whole batch before any per-pair work fans out over the cubes.
+        for session in sessions:
+            self.engine.amplitude_denoise(session.baseline)
+            self.engine.amplitude_denoise(session.target)
+        return [
+            self.extract(session, true_omega=omega)
+            for session, omega in zip(sessions, true_omegas)
+        ]
+
+    def extract_labelled_batch(
+        self, sessions: list[CaptureSession]
+    ) -> list[SessionFeatures]:
+        """Batch :meth:`extract_labelled` (training-side batch API)."""
+        return self.extract_batch(
+            sessions, [self._true_omega_for(s) for s in sessions]
+        )
+
+    def identify_batch(self, sessions: list[CaptureSession]) -> list[str]:
+        """Identify many test sessions, reusing every cached stage.
+
+        Returns predictions in session order; identical to calling
+        :meth:`identify` per session.
+        """
+        if self._classifier is None:
+            raise RuntimeError("WiMi is not fitted; call fit() first")
+        return [
+            self._classify(features).label
+            for features in self.extract_batch(sessions)
+        ]
 
     def _reference_envelope(self) -> tuple[float, float]:
         """Generous physical envelope of the reference Omega-bar values."""
@@ -297,14 +410,9 @@ class WiMi:
             raise ValueError("need at least one training session")
         self.calibrate(sessions)
         self.database = MaterialDatabase()
-        for session in sessions:
-            measurement = self.extract_labelled(session)
+        for measurement in self.extract_labelled_batch(sessions):
             self.database.add(measurement)
-        self._classifier = DatabaseClassifier(
-            kind=self.config.classifier,
-            svm_c=self.config.svm_c,
-            knn_k=self.config.knn_k,
-        ).fit(self.database)
+        self._train_classifier()
         return self
 
     def fit_measurements(
@@ -317,23 +425,37 @@ class WiMi:
         self.database = MaterialDatabase()
         for measurement in measurements:
             self.database.add(measurement)
+        self._train_classifier()
+        return self
+
+    def _train_classifier(self) -> None:
+        """Fit the configured classifier on the current database."""
         self._classifier = DatabaseClassifier(
             kind=self.config.classifier,
             svm_c=self.config.svm_c,
             knn_k=self.config.knn_k,
         ).fit(self.database)
-        return self
+        self._classifier_token = f"clf-{next(_CLASSIFIER_TOKENS)}"
 
     @property
     def is_fitted(self) -> bool:
         """Whether :meth:`fit` has been called."""
         return self._classifier is not None
 
+    def _classify(self, features: SessionFeatures) -> ClassificationArtifact:
+        """Run the classify stage on extracted features."""
+        return self.engine.classify(
+            features,
+            classifier=self._classifier,
+            classifier_token=self._classifier_token,
+            envelope=self._reference_envelope(),
+        )
+
     def identify(self, session: CaptureSession) -> str:
         """Identify the material of one test session."""
         if self._classifier is None:
             raise RuntimeError("WiMi is not fitted; call fit() first")
-        return self.identify_measurement(self.extract(session))
+        return self._classify(self.extract(session)).label
 
     def identify_measurement(
         self, measurement: SessionFeatures | FeatureMeasurement
@@ -341,11 +463,9 @@ class WiMi:
         """Identify from a pre-extracted measurement."""
         if self._classifier is None:
             raise RuntimeError("WiMi is not fitted; call fit() first")
-        return self._classifier.resolve_branch_and_predict(
-            measurement,
-            max_gamma=self.config.max_gamma,
-            envelope=self._reference_envelope(),
-        )
+        if isinstance(measurement, FeatureMeasurement):
+            measurement = SessionFeatures(measurements=[measurement])
+        return self._classify(measurement).label
 
     def identify_with_confidence(
         self, session: CaptureSession
@@ -360,13 +480,8 @@ class WiMi:
         """
         if self._classifier is None:
             raise RuntimeError("WiMi is not fitted; call fit() first")
-        features = self.extract(session)
-        name = self._classifier.resolve_branch_and_predict(
-            features,
-            max_gamma=self.config.max_gamma,
-            envelope=self._reference_envelope(),
-        )
-        return name, self._classifier.confidence(features.vector())
+        artifact = self._classify(self.extract(session))
+        return artifact.label, artifact.confidence
 
     def predict_vectors(self, vectors: np.ndarray) -> np.ndarray:
         """Identify a batch of raw feature vectors."""

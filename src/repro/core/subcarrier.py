@@ -71,6 +71,27 @@ class SubcarrierSelector:
         best = np.argsort(scores, kind="stable")[:count]
         return validate_subcarrier_selection(sorted(best.tolist()), scores.size)
 
+    def pooled_variances(
+        self,
+        sessions,
+        pair: tuple[int, int],
+    ) -> np.ndarray:
+        """Eq. 7 variances summed over sessions, shape ``(K,)``.
+
+        The shared scoring behind :meth:`rank_pooled` /
+        :meth:`select_pooled`; also what the stage-graph engine's
+        ``subcarrier_selection`` stage memoizes.
+        """
+        if not sessions:
+            raise ValueError("need at least one session to pool over")
+        total: np.ndarray | None = None
+        for session in sessions:
+            scores = self.combined_variances(
+                session.baseline, session.target, pair
+            )
+            total = scores if total is None else total + scores
+        return total
+
     def rank_pooled(
         self,
         sessions,
@@ -81,14 +102,7 @@ class SubcarrierSelector:
         Pools Eq. 7 variances over ``sessions`` like :meth:`select_pooled`
         but returns the complete ranking instead of the top few.
         """
-        if not sessions:
-            raise ValueError("need at least one session to pool over")
-        total: np.ndarray | None = None
-        for session in sessions:
-            scores = self.combined_variances(
-                session.baseline, session.target, pair
-            )
-            total = scores if total is None else total + scores
+        total = self.pooled_variances(sessions, pair)
         return np.argsort(total, kind="stable").tolist()
 
     def select_pooled(
@@ -104,16 +118,9 @@ class SubcarrierSelector:
         variance scores over the calibration sessions reproduces that.
         ``sessions`` is a list of :class:`repro.csi.collector.CaptureSession`.
         """
-        if not sessions:
-            raise ValueError("need at least one session to pool over")
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
-        total: np.ndarray | None = None
-        for session in sessions:
-            scores = self.combined_variances(
-                session.baseline, session.target, pair
-            )
-            total = scores if total is None else total + scores
+        total = self.pooled_variances(sessions, pair)
         count = min(count, total.size)
         best = np.argsort(total, kind="stable")[:count]
         return validate_subcarrier_selection(sorted(best.tolist()), total.size)

@@ -1,0 +1,172 @@
+"""Per-stage memoization with hit/miss accounting.
+
+:class:`StageCache` is the engine's only cache: an LRU keyed by
+``(stage name, content-hash key)``.  It keeps per-stage statistics so the
+``repro bench-cache`` command and the perf benchmarks can report hit
+rates, and it supports sharing one cache across several ``WiMi``
+instances (the experiment runner's classifier sweeps reuse calibration
+and denoising artifacts this way -- stage keys embed the stage-relevant
+config fields, so sharing is always safe).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: A cache miss sentinel distinct from any artifact.
+_MISSING = object()
+
+
+@dataclass
+class StageStats:
+    """Hit/miss counters of one stage."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups for the stage."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One stage resolution, delivered to engine hooks.
+
+    Attributes:
+        stage: Stage name (see :mod:`repro.engine.stages`).
+        key: Content-hash cache key of the artifact.
+        cache_hit: True when the artifact came from the cache; False when
+            the stage actually executed.
+    """
+
+    stage: str
+    key: str
+    cache_hit: bool
+
+
+class StageCache:
+    """LRU artifact store keyed by ``(stage, key)`` with per-stage stats.
+
+    Args:
+        max_entries: Entries kept before least-recently-used eviction.
+            The artifacts are small (per-subcarrier vectors, one denoised
+            cube per trace), so a few thousand entries cover realistic
+            experiment sweeps.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        self._stats: dict[str, StageStats] = {}
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, stage: str, key: str) -> tuple[Any, bool]:
+        """``(artifact, True)`` on a hit, ``(None, False)`` on a miss.
+
+        Records the outcome in the stage's statistics.
+        """
+        stats = self._stats.setdefault(stage, StageStats())
+        value = self._entries.get((stage, key), _MISSING)
+        if value is _MISSING:
+            stats.misses += 1
+            return None, False
+        stats.hits += 1
+        self._entries.move_to_end((stage, key))
+        return value, True
+
+    def store(self, stage: str, key: str, artifact: Any) -> None:
+        """Insert an artifact, evicting the LRU entry when full."""
+        self._entries[(stage, key)] = artifact
+        self._entries.move_to_end((stage, key))
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def resolve(
+        self, stage: str, key: str, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Memoized computation: ``(artifact, cache_hit)``."""
+        artifact, hit = self.lookup(stage, key)
+        if hit:
+            return artifact, True
+        artifact = compute()
+        self.store(stage, key, artifact)
+        return artifact, False
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, stage_key: tuple[str, str]) -> bool:
+        return stage_key in self._entries
+
+    @property
+    def stats(self) -> dict[str, StageStats]:
+        """Per-stage hit/miss counters (live view)."""
+        return self._stats
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict statistics, ready for printing/serialisation."""
+        return {
+            stage: {
+                "hits": s.hits,
+                "misses": s.misses,
+                "hit_rate": s.hit_rate,
+            }
+            for stage, s in sorted(self._stats.items())
+        }
+
+    def clear(self) -> None:
+        """Drop all artifacts and statistics."""
+        self._entries.clear()
+        self._stats.clear()
+
+    def invalidate_stage(self, stage: str) -> int:
+        """Drop all artifacts of one stage; returns how many were dropped."""
+        doomed = [k for k in self._entries if k[0] == stage]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)
+
+
+@dataclass
+class StageCounter:
+    """Engine hook counting stage executions and cache hits.
+
+    Register with :meth:`repro.engine.graph.PipelineEngine.add_hook`;
+    the perf benchmarks use it to assert that repeated extraction does
+    not re-run the denoiser::
+
+        counter = StageCounter()
+        wimi.engine.add_hook(counter)
+        wimi.extract(session)
+        assert counter.executions.get("amplitude_denoise", 0) <= 2
+    """
+
+    executions: dict[str, int] = field(default_factory=dict)
+    hits: dict[str, int] = field(default_factory=dict)
+
+    def __call__(self, event: StageEvent) -> None:
+        bucket = self.hits if event.cache_hit else self.executions
+        bucket[event.stage] = bucket.get(event.stage, 0) + 1
+
+    def total(self, stage: str) -> int:
+        """Executions + hits observed for one stage."""
+        return self.executions.get(stage, 0) + self.hits.get(stage, 0)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.executions.clear()
+        self.hits.clear()

@@ -12,6 +12,7 @@ from repro.core.feature import theory_reference_omegas
 from repro.core.pipeline import WiMi
 from repro.csi.impairments import HardwareProfile
 from repro.csi.simulator import SimulationScene
+from repro.engine.cache import StageCache
 from repro.experiments.datasets import collect_dataset, split_dataset
 from repro.ml.validation import ConfusionMatrix, confusion_matrix
 
@@ -82,7 +83,7 @@ def run_identification(
     wimi.fit(train)
 
     y_true = np.array([s.material_name for s in test])
-    y_pred = np.array([wimi.identify(s) for s in test])
+    y_pred = np.array(wimi.identify_batch(test))
     labels = [m.name for m in materials]
     cm = confusion_matrix(y_true, y_pred, labels=labels)
     return ExperimentResult(
@@ -103,20 +104,29 @@ def fit_and_score(
     labels: list[str],
     reference_materials: list[Material],
     config: WiMiConfig | None = None,
+    cache: StageCache | None = None,
 ) -> ExperimentResult:
     """Train on pre-collected sessions and score on held-out ones.
 
     Lower-level sibling of :func:`run_identification` for experiments that
     reuse one dataset under several configurations (e.g. the Fig. 18
     packet sweep truncates the same sessions to different lengths).
+
+    Args:
+        cache: Optional shared :class:`repro.engine.StageCache`.  Pass
+            the same instance across a configuration sweep over one
+            dataset and every stage unaffected by the config change
+            (calibration, denoising, subcarrier scoring) is served from
+            cache instead of recomputed -- stage keys embed the
+            stage-relevant config fields, so sharing is always safe.
     """
     if not train or not test:
         raise ValueError("need non-empty train and test session lists")
     refs = theory_reference_omegas(reference_materials)
-    wimi = WiMi(refs, config)
+    wimi = WiMi(refs, config, cache=cache)
     wimi.fit(train)
     y_true = np.array([s.material_name for s in test])
-    y_pred = np.array([wimi.identify(s) for s in test])
+    y_pred = np.array(wimi.identify_batch(test))
     cm = confusion_matrix(y_true, y_pred, labels=labels)
     return ExperimentResult(
         confusion=cm,
