@@ -1,6 +1,11 @@
 """Ablation: SVM vs kNN vs nearest-centroid on the Omega-bar feature."""
 
+import pytest
+
 from conftest import repetitions
+
+#: Paper-scale sweep; CI's smoke pass skips it (-m 'not slow').
+pytestmark = pytest.mark.slow
 
 from repro.core.config import WiMiConfig
 from repro.experiments.datasets import (

@@ -5,7 +5,12 @@ single antenna pair (no fusion), no coarse-pair feature, envelope-only
 gamma resolution, and fewer good subcarriers.
 """
 
+import pytest
+
 from conftest import repetitions
+
+#: Paper-scale sweep; CI's smoke pass skips it (-m 'not slow').
+pytestmark = pytest.mark.slow
 
 from repro.core.config import WiMiConfig
 from repro.experiments.datasets import (

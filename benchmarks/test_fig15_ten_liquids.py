@@ -1,6 +1,11 @@
 """Bench E15: Fig. 15 -- ten-liquid confusion matrix (headline result)."""
 
+import pytest
+
 from conftest import repetitions
+
+#: Paper-scale sweep; CI's smoke pass skips it (-m 'not slow').
+pytestmark = pytest.mark.slow
 
 from repro.experiments.figures import ten_liquid_confusion
 from repro.experiments.reporting import format_confusion

@@ -1,6 +1,11 @@
 """Bench E17: Fig. 17 -- accuracy vs Tx-Rx distance."""
 
+import pytest
+
 from conftest import repetitions
+
+#: Paper-scale sweep; CI's smoke pass skips it (-m 'not slow').
+pytestmark = pytest.mark.slow
 
 from repro.experiments.figures import distance_sweep
 from repro.experiments.reporting import format_environment_series

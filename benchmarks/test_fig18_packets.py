@@ -1,6 +1,11 @@
 """Bench E18: Fig. 18 -- accuracy vs number of packets."""
 
+import pytest
+
 from conftest import repetitions
+
+#: Paper-scale sweep; CI's smoke pass skips it (-m 'not slow').
+pytestmark = pytest.mark.slow
 
 from repro.experiments.figures import packet_sweep
 from repro.experiments.reporting import format_environment_series

@@ -67,6 +67,13 @@ from repro.csi import (
     SimulationScene,
 )
 from repro.engine import PipelineEngine, StageCache, StageCounter, StageEvent
+from repro.serve import (
+    IdentificationService,
+    MetricsRegistry,
+    QueueFullError,
+    RequestHandle,
+    ServiceConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -84,13 +91,18 @@ __all__ = [
     "Environment",
     "FeatureMeasurement",
     "HardwareProfile",
+    "IdentificationService",
     "LinkGeometry",
     "Material",
     "MaterialCatalog",
     "MaterialDatabase",
     "MaterialFeatureExtractor",
+    "MetricsRegistry",
     "PhaseCalibrator",
     "PipelineEngine",
+    "QueueFullError",
+    "RequestHandle",
+    "ServiceConfig",
     "SessionConfig",
     "SimulationScene",
     "StageCache",

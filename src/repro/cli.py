@@ -1,26 +1,49 @@
-"""Command-line interface: regenerate any paper figure from the terminal.
+"""Command-line interface: figures, cache and serving benchmarks.
 
 Usage::
 
     python -m repro list                 # what can be regenerated
     python -m repro fig15                # ten-liquid confusion matrix
     python -m repro fig17 --seed 3       # distance sweep, another deployment
-    python -m repro all --seed 1         # everything, in order
+    python -m repro all --seed 1         # every figure, in order
     python -m repro bench-cache          # stage-cache hit rates
+    python -m repro serve-bench          # online-service load benchmark
+    python -m repro --version
 
 Every figure command prints the same rows/series the paper's figure
 plots, via :mod:`repro.experiments.reporting`.  ``bench-cache`` runs a
 small identification workload through the stage-graph engine twice and
-reports per-stage memoization hit rates.
+reports per-stage memoization hit rates; ``serve-bench`` replays a
+synthetic multi-material workload through the
+:class:`repro.serve.IdentificationService` and prints the serving
+dashboard (throughput, latency percentiles, batch sizes, cache hit
+rates, rejections/retries).
+
+All subcommands live in one :data:`COMMANDS` registry; ``list`` and the
+help text are generated from it, and an unknown subcommand exits with a
+non-zero status and a usable message.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Callable, NamedTuple
 
 from repro.experiments import figures as F
 from repro.experiments import reporting as R
+
+
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata may be absent
+        import repro
+
+        return repro.__version__
 
 
 def _fig02(args) -> str:
@@ -202,24 +225,134 @@ def _bench_cache(args) -> str:
     return "\n".join(lines)
 
 
-#: Command registry: name -> (runner, description).
-COMMANDS = {
-    "fig02": (_fig02, "phase calibration microbenchmark (also Fig. 12)"),
-    "fig03": (_fig03, "raw amplitude noise statistics"),
-    "fig06": (_fig06, "per-subcarrier phase-difference variance"),
-    "fig07": (_fig07, "denoising method comparison"),
-    "fig08": (_fig08, "amplitude-ratio variance"),
-    "fig09": (_fig09, "material feature clusters"),
-    "fig10": (_fig10, "antenna-combination variance"),
-    "fig13": (_fig13, "subcarrier choice vs accuracy"),
-    "fig14": (_fig14, "denoising ablation"),
-    "fig15": (_fig15, "ten-liquid confusion matrix"),
-    "fig16": (_fig16, "saltwater concentrations"),
-    "fig17": (_fig17, "distance sweep"),
-    "fig18": (_fig18, "packet-count sweep"),
-    "fig19": (_fig19, "container-size sweep"),
-    "fig20": (_fig20, "container-material comparison"),
-    "fig21": (_fig21, "antenna-pair accuracy"),
+def _serve_bench(args) -> str:
+    """``repro serve-bench``: load-test the online identification service.
+
+    Builds one deployment, fits a WiMi, then replays a repeated
+    multi-material workload two ways: sequentially with a cold artifact
+    cache per request (the one-shot, no-service status quo) and through
+    :class:`repro.serve.IdentificationService` (bounded queue ->
+    micro-batcher -> worker pool over one shared stage cache).  Prints
+    throughput, latency percentiles, the batch-size distribution,
+    per-stage cache hit rates and the rejection/retry counters.
+    """
+    import time
+
+    from repro.channel.materials import default_catalog
+    from repro.core.feature import theory_reference_omegas
+    from repro.core.pipeline import WiMi
+    from repro.engine import StageCache
+    from repro.experiments.datasets import (
+        collect_dataset,
+        split_dataset,
+        standard_scene,
+    )
+    from repro.serve import IdentificationService, ServiceConfig
+
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in ("pure_water", "pepsi", "oil")]
+    dataset = collect_dataset(
+        materials, scene=standard_scene("lab"), repetitions=6,
+        num_packets=10, seed=args.seed,
+    )
+    train, test = split_dataset(dataset)
+    wimi = WiMi(theory_reference_omegas(materials))
+    wimi.fit(train)
+
+    # Repeated-material workload: every test session arrives args.repeat
+    # times, interleaved, like many deployed links re-measuring.
+    workload = [s for _ in range(args.repeat) for s in test]
+
+    t0 = time.perf_counter()
+    sequential = [
+        wimi.clone_view(cache=StageCache()).identify(s) for s in workload
+    ]
+    sequential_s = time.perf_counter() - t0
+
+    service = IdentificationService(
+        wimi,
+        ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            max_batch_size=args.batch_size,
+            num_workers=args.workers,
+        ),
+    )
+    t0 = time.perf_counter()
+    with service:
+        handles = [service.submit(s) for s in workload]
+        served = [h.result(timeout=60.0) for h in handles]
+    served_s = time.perf_counter() - t0
+
+    snap = service.snapshot()
+    latency = snap["histograms"]["latency_ms"]
+    batches = snap["histograms"]["batch_size"]
+    counters = snap["counters"]
+
+    lines = [
+        f"serve-bench -- {len(workload)} requests "
+        f"({len(test)} distinct sessions x{args.repeat}, seed {args.seed}), "
+        f"{args.workers} workers, batch<= {args.batch_size}, "
+        f"queue {args.queue_capacity}",
+        f"  sequential (cold cache/request): {sequential_s:.3f}s  "
+        f"({len(workload) / sequential_s:7.1f} req/s)",
+        f"  service (micro-batched):         {served_s:.3f}s  "
+        f"({len(workload) / served_s:7.1f} req/s)",
+        f"  speedup: {sequential_s / served_s:.1f}x"
+        f"  predictions identical: {'yes' if served == sequential else 'NO'}",
+        f"  latency ms: p50 {latency['p50']:.2f}  p95 {latency['p95']:.2f}  "
+        f"p99 {latency['p99']:.2f}  max {latency['max']:.2f}",
+        f"  batches: {batches['count']} dispatched, mean size "
+        f"{batches['mean']:.2f}, size histogram {batches['buckets']}",
+        f"  requests: {counters['requests.completed']} completed, "
+        f"{counters['requests.failed']} failed, "
+        f"{counters['requests.rejected']} rejected, "
+        f"{counters['requests.retries']} retries, "
+        f"{counters['requests.expired']} expired",
+        "  stage cache (shared across workers):",
+    ]
+    for stage, stats in sorted(snap["stage_cache"].items()):
+        lines.append(
+            f"    {stage:<22} {stats['misses']:>6d} exec {stats['hits']:>7d} "
+            f"hits {stats['hit_rate']:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
+class Command(NamedTuple):
+    """One registered subcommand."""
+
+    runner: Callable[[argparse.Namespace], str]
+    description: str
+    #: Whether ``repro all`` includes it (figures yes, benchmarks no).
+    in_all: bool = True
+
+
+#: The single subcommand registry: help listing and dispatch both come
+#: from this table.
+COMMANDS: dict[str, Command] = {
+    "fig02": Command(_fig02, "phase calibration microbenchmark (also Fig. 12)"),
+    "fig03": Command(_fig03, "raw amplitude noise statistics"),
+    "fig06": Command(_fig06, "per-subcarrier phase-difference variance"),
+    "fig07": Command(_fig07, "denoising method comparison"),
+    "fig08": Command(_fig08, "amplitude-ratio variance"),
+    "fig09": Command(_fig09, "material feature clusters"),
+    "fig10": Command(_fig10, "antenna-combination variance"),
+    "fig13": Command(_fig13, "subcarrier choice vs accuracy"),
+    "fig14": Command(_fig14, "denoising ablation"),
+    "fig15": Command(_fig15, "ten-liquid confusion matrix"),
+    "fig16": Command(_fig16, "saltwater concentrations"),
+    "fig17": Command(_fig17, "distance sweep"),
+    "fig18": Command(_fig18, "packet-count sweep"),
+    "fig19": Command(_fig19, "container-size sweep"),
+    "fig20": Command(_fig20, "container-material comparison"),
+    "fig21": Command(_fig21, "antenna-pair accuracy"),
+    "bench-cache": Command(
+        _bench_cache, "stage-graph memoization hit rates", in_all=False
+    ),
+    "serve-bench": Command(
+        _serve_bench, "online identification service load benchmark",
+        in_all=False,
+    ),
 }
 
 
@@ -227,38 +360,65 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate WiMi (ICDCS 2019) evaluation figures.",
+        description=(
+            "Regenerate WiMi (ICDCS 2019) evaluation figures and run the "
+            "engine/serving benchmarks."
+        ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     parser.add_argument(
         "command",
-        choices=sorted(COMMANDS) + ["list", "all", "bench-cache"],
+        choices=sorted(COMMANDS) + ["list", "all"],
         help=(
-            "figure to regenerate, 'list' to enumerate, 'all' for every "
-            "figure, 'bench-cache' for stage-cache hit rates"
+            "subcommand to run, 'list' to enumerate all of them, "
+            "'all' for every figure"
         ),
     )
     parser.add_argument(
         "--seed", type=int, default=1, help="deployment seed (default 1)"
     )
+    serve = parser.add_argument_group("serve-bench options")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="service worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=8,
+        help="micro-batch size limit (default 8)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="bounded request queue depth (default 64)",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=4,
+        help="times each distinct session re-arrives (default 4)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Unknown subcommands exit non-zero (argparse status 2) with the
+    valid choices spelled out on stderr.
+    """
     args = build_parser().parse_args(argv)
     if args.command == "list":
         width = max(len(name) for name in COMMANDS)
         for name in sorted(COMMANDS):
-            print(f"{name:<{width}}  {COMMANDS[name][1]}")
-        print(f"{'bench-cache':<{width}}  stage-graph memoization hit rates")
+            print(f"{name:<{width}}  {COMMANDS[name].description}")
         return 0
-    if args.command == "bench-cache":
-        print(_bench_cache(args))
-        return 0
-    names = sorted(COMMANDS) if args.command == "all" else [args.command]
+    if args.command == "all":
+        names = sorted(n for n, c in COMMANDS.items() if c.in_all)
+    else:
+        names = [args.command]
     for name in names:
-        runner, _ = COMMANDS[name]
-        print(runner(args))
+        print(COMMANDS[name].runner(args))
         print()
     return 0
 

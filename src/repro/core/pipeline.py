@@ -113,6 +113,61 @@ class WiMi:
         self._subcarriers_by_pair: dict[tuple[int, int], list[int]] = {}
 
     # ------------------------------------------------------------------
+    # Concurrency views
+    # ------------------------------------------------------------------
+
+    def clone_view(self, cache: StageCache | None = None) -> "WiMi":
+        """A facade sharing this instance's state but owning its engine.
+
+        The view shares the (read-only after ``fit``) heavy components --
+        extractor, calibrator, denoiser, database, trained classifier --
+        and, by default, the stage cache, but gets a *private*
+        :class:`repro.engine.PipelineEngine` and therefore a private
+        hook list.  That is the shape the serving worker pool needs: N
+        threads identifying concurrently, every artifact shared through
+        one :class:`repro.engine.StageCache`, per-worker hooks never
+        contending.
+
+        Args:
+            cache: Stage cache of the view; defaults to sharing this
+                instance's cache.  Pass a fresh ``StageCache()`` to get
+                an artifact-cold view (used by the serving benchmark's
+                sequential baseline).
+        """
+        view = object.__new__(type(self))
+        view.config = self.config
+        view.calibrator = self.calibrator
+        view.subcarrier_selector = self.subcarrier_selector
+        view.amplitude = self.amplitude
+        view.pair_selector = self.pair_selector
+        view.extractor = self.extractor
+        view.cache = cache if cache is not None else self.cache
+        view.engine = PipelineEngine(
+            extractor=self.extractor,
+            subcarrier_selector=self.subcarrier_selector,
+            config=self.config,
+            cache=view.cache,
+        )
+        view.database = self.database
+        view._classifier = self._classifier
+        view._classifier_token = self._classifier_token
+        view._pair = self._pair
+        view._feature_pairs = (
+            list(self._feature_pairs)
+            if self._feature_pairs is not None
+            else None
+        )
+        view._coarse_pair = self._coarse_pair
+        view._subcarriers = (
+            list(self._subcarriers) if self._subcarriers is not None else None
+        )
+        view._subcarriers_by_pair = {
+            pair: list(subcarriers)
+            for pair, subcarriers in self._subcarriers_by_pair.items()
+        }
+        return view
+
+    # ------------------------------------------------------------------
     # Deployment calibration
     # ------------------------------------------------------------------
 

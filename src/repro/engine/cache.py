@@ -7,10 +7,20 @@ rates, and it supports sharing one cache across several ``WiMi``
 instances (the experiment runner's classifier sweeps reuse calibration
 and denoising artifacts this way -- stage keys embed the stage-relevant
 config fields, so sharing is always safe).
+
+Thread-safety contract (the serving worker pool relies on it): all
+bookkeeping -- the LRU dict, per-stage counters, snapshots and
+invalidation -- is guarded by one lock, so any number of threads may
+share a cache.  :meth:`StageCache.resolve` deliberately runs ``compute``
+*outside* the lock; two threads missing the same key concurrently may
+both compute it (the artifacts are content-addressed, so the duplicate
+is identical and the last store wins), but no thread ever observes a
+torn entry or inconsistent counters.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -67,6 +77,7 @@ class StageCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self._lock = threading.RLock()
         self._entries: OrderedDict[tuple[str, str], Any] = OrderedDict()
         self._stats: dict[str, StageStats] = {}
 
@@ -77,26 +88,32 @@ class StageCache:
 
         Records the outcome in the stage's statistics.
         """
-        stats = self._stats.setdefault(stage, StageStats())
-        value = self._entries.get((stage, key), _MISSING)
-        if value is _MISSING:
-            stats.misses += 1
-            return None, False
-        stats.hits += 1
-        self._entries.move_to_end((stage, key))
-        return value, True
+        with self._lock:
+            stats = self._stats.setdefault(stage, StageStats())
+            value = self._entries.get((stage, key), _MISSING)
+            if value is _MISSING:
+                stats.misses += 1
+                return None, False
+            stats.hits += 1
+            self._entries.move_to_end((stage, key))
+            return value, True
 
     def store(self, stage: str, key: str, artifact: Any) -> None:
         """Insert an artifact, evicting the LRU entry when full."""
-        self._entries[(stage, key)] = artifact
-        self._entries.move_to_end((stage, key))
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[(stage, key)] = artifact
+            self._entries.move_to_end((stage, key))
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def resolve(
         self, stage: str, key: str, compute: Callable[[], Any]
     ) -> tuple[Any, bool]:
-        """Memoized computation: ``(artifact, cache_hit)``."""
+        """Memoized computation: ``(artifact, cache_hit)``.
+
+        ``compute`` runs outside the cache lock; see the module
+        docstring for the concurrent-miss semantics.
+        """
         artifact, hit = self.lookup(stage, key)
         if hit:
             return artifact, True
@@ -107,10 +124,12 @@ class StageCache:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, stage_key: tuple[str, str]) -> bool:
-        return stage_key in self._entries
+        with self._lock:
+            return stage_key in self._entries
 
     @property
     def stats(self) -> dict[str, StageStats]:
@@ -119,26 +138,29 @@ class StageCache:
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Plain-dict statistics, ready for printing/serialisation."""
-        return {
-            stage: {
-                "hits": s.hits,
-                "misses": s.misses,
-                "hit_rate": s.hit_rate,
+        with self._lock:
+            return {
+                stage: {
+                    "hits": s.hits,
+                    "misses": s.misses,
+                    "hit_rate": s.hit_rate,
+                }
+                for stage, s in sorted(self._stats.items())
             }
-            for stage, s in sorted(self._stats.items())
-        }
 
     def clear(self) -> None:
         """Drop all artifacts and statistics."""
-        self._entries.clear()
-        self._stats.clear()
+        with self._lock:
+            self._entries.clear()
+            self._stats.clear()
 
     def invalidate_stage(self, stage: str) -> int:
         """Drop all artifacts of one stage; returns how many were dropped."""
-        doomed = [k for k in self._entries if k[0] == stage]
-        for k in doomed:
-            del self._entries[k]
-        return len(doomed)
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == stage]
+            for k in doomed:
+                del self._entries[k]
+            return len(doomed)
 
 
 @dataclass

@@ -1,0 +1,104 @@
+"""Micro-batching scheduler: bounded queue in, engine-sized batches out.
+
+The batcher is the piece that converts independent arrivals into the
+engine's batch shape.  Policy: take the first waiting request, then
+hold the batch open for at most ``max_wait_s`` while it fills to
+``max_batch_size``.  Under load the wait never triggers (the queue has
+co-riders ready) and batches run full; under trickle traffic a lone
+request pays at most ``max_wait_s`` extra latency.
+
+Dispatch is a *bounded* queue: when every worker is busy and the
+dispatch depth is reached, the batcher blocks, the request queue fills,
+and new submissions are rejected at the front door -- backpressure
+propagates instead of buffering without limit.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.serve.metrics import MetricsRegistry
+
+#: How often the batcher re-checks the stop event while idle (seconds).
+_IDLE_POLL_S = 0.02
+
+
+class MicroBatcher(threading.Thread):
+    """Drains the request queue into batches under a size/time policy.
+
+    Args:
+        inbox: Bounded queue of ``_Request`` envelopes from ``submit``.
+        dispatch: Bounded queue of request lists consumed by the pool.
+        max_batch_size: Largest batch to form.
+        max_wait_s: Longest to hold an incomplete batch open.
+        metrics: Registry recording batch sizes and queue depth.
+        stop_event: Set by the service to wind the thread down.
+    """
+
+    def __init__(
+        self,
+        inbox: queue.Queue,
+        dispatch: queue.Queue,
+        max_batch_size: int,
+        max_wait_s: float,
+        metrics: MetricsRegistry,
+        stop_event: threading.Event,
+    ):
+        super().__init__(name="repro-serve-batcher", daemon=True)
+        self.inbox = inbox
+        self.dispatch = dispatch
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.metrics = metrics
+        self.stop_event = stop_event
+
+    def run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch:
+                self.metrics.histogram("batch_size").observe(len(batch))
+                self.metrics.gauge("queue_depth").set(self.inbox.qsize())
+                self._dispatch_batch(batch)
+            elif self.stop_event.is_set():
+                return
+
+    def _collect(self) -> list:
+        """One batch: first request blocks (poll-checking stop), then the
+        batch fills until size or deadline."""
+        try:
+            first = self.inbox.get(timeout=_IDLE_POLL_S)
+        except queue.Empty:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self.inbox.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _dispatch_batch(self, batch: list) -> None:
+        """Hand the batch to the workers, blocking for backpressure but
+        staying responsive to shutdown."""
+        while True:
+            try:
+                self.dispatch.put(batch, timeout=_IDLE_POLL_S)
+                return
+            except queue.Full:
+                if self.stop_event.is_set():
+                    # The pool is gone; the service's stop() fails what
+                    # it finds in the queues, so fail this batch here.
+                    from repro.serve.service import ServiceStoppedError
+
+                    for request in batch:
+                        request.handle._fail(
+                            ServiceStoppedError("service stopped")
+                        )
+                        self.metrics.counter("requests.failed").inc()
+                    return

@@ -1,0 +1,414 @@
+"""Request layer of the online identification service.
+
+:class:`IdentificationService` turns a fitted
+:class:`repro.core.pipeline.WiMi` into a traffic-serving subsystem:
+
+* ``submit(session)`` enqueues onto a **bounded** FIFO queue and returns
+  a :class:`RequestHandle` (a future).  A full queue rejects the submit
+  with :class:`QueueFullError` -- explicit backpressure, never a silent
+  drop.
+* A :class:`repro.serve.batcher.MicroBatcher` drains the queue under a
+  max-batch-size / max-wait policy, so co-arriving sessions share one
+  denoiser pass through the engine's batch path.
+* A :class:`repro.serve.workers.WorkerPool` of N threads executes the
+  batches, each worker owning its own engine view over one shared
+  :class:`repro.engine.StageCache`.  A request that raises fails alone;
+  transient faults retry with exponential backoff.
+* Every hop is measured in a :class:`repro.serve.metrics.MetricsRegistry`
+  (queue wait, end-to-end latency, batch sizes, retries, rejections,
+  per-stage cache behaviour).
+
+Typical use::
+
+    wimi = WiMi(refs).fit(training_sessions)
+    with IdentificationService(wimi, ServiceConfig(num_workers=4)) as svc:
+        handles = [svc.submit(s) for s in sessions]
+        labels = [h.result(timeout=5.0) for h in handles]
+        print(svc.metrics.render_text())
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.pipeline import WiMi
+from repro.csi.collector import CaptureSession
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import (
+    BATCH_SIZE_BUCKETS,
+    MetricsRegistry,
+    StageEventRecorder,
+)
+from repro.serve.workers import WorkerPool
+
+
+class ServeError(Exception):
+    """Base class of all service-side request failures."""
+
+
+class QueueFullError(ServeError):
+    """Submission rejected because the request queue is at capacity."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline passed before a worker finished it."""
+
+
+class ServiceStoppedError(ServeError):
+    """The service stopped before the request could run."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the identification service.
+
+    Attributes:
+        queue_capacity: Bounded request-queue depth; submissions beyond
+            it raise :class:`QueueFullError`.
+        max_batch_size: Most sessions the batcher co-schedules into one
+            engine batch call.
+        max_wait_s: Longest the batcher holds an incomplete batch open
+            waiting for co-riders before dispatching it anyway.
+        num_workers: Worker threads, each with its own engine view over
+            the shared stage cache.
+        retry_budget: Extra attempts (beyond the first) a failing
+            request gets before its error is returned.
+        backoff_base_s: Sleep before the first retry; doubles per
+            subsequent retry of the same request.
+        default_timeout_s: Deadline applied to submissions that do not
+            pass their own ``timeout`` (None = no deadline).
+        dispatch_depth: Batches that may sit ready-to-run ahead of the
+            workers; keeping it small propagates worker saturation back
+            to the request queue (backpressure) instead of hiding it.
+    """
+
+    queue_capacity: int = 64
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+    num_workers: int = 2
+    retry_budget: int = 1
+    backoff_base_s: float = 0.002
+    default_timeout_s: float | None = None
+    dispatch_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.dispatch_depth < 1:
+            raise ValueError(
+                f"dispatch_depth must be >= 1, got {self.dispatch_depth}"
+            )
+
+
+class RequestHandle:
+    """Future-style handle of one submitted session.
+
+    The service resolves it exactly once, with either a label or an
+    exception; callers block on :meth:`result` (optionally bounded by a
+    wait timeout, which is independent of the request's own service-side
+    deadline).
+    """
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._label: str | None = None
+        self._error: BaseException | None = None
+        #: Wall-clock seconds from submit to resolution (set on done).
+        self.latency_s: float | None = None
+        #: Times the request was attempted (>1 means it was retried).
+        self.attempts: int = 0
+        #: Size of the batch this request was last co-scheduled in.
+        self.batch_size: int | None = None
+
+    def done(self) -> bool:
+        """Whether the request has been resolved."""
+        return self._done.is_set()
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The request's failure, or None if it succeeded.
+
+        Raises:
+            TimeoutError: If the request is still unresolved after
+                ``timeout`` seconds.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not resolved yet")
+        return self._error
+
+    def result(self, timeout: float | None = None) -> str:
+        """The predicted material name.
+
+        Blocks until resolution; re-raises the request's failure.
+        """
+        error = self.exception(timeout)
+        if error is not None:
+            raise error
+        assert self._label is not None
+        return self._label
+
+    # -- resolution (service-internal) ---------------------------------
+
+    def _resolve(self, label: str) -> None:
+        if not self._done.is_set():
+            self._label = label
+            self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if not self._done.is_set():
+            self._error = error
+            self._done.set()
+
+
+class _Request:
+    """Internal envelope the queue/batcher/workers pass around."""
+
+    __slots__ = ("session", "handle", "deadline", "submitted_at")
+
+    def __init__(
+        self,
+        session: CaptureSession,
+        handle: RequestHandle,
+        deadline: float | None,
+        submitted_at: float,
+    ):
+        self.session = session
+        self.handle = handle
+        self.deadline = deadline
+        self.submitted_at = submitted_at
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+
+class IdentificationService:
+    """Bounded-queue, micro-batching serving front of a fitted WiMi.
+
+    Args:
+        wimi: A fitted pipeline; its calibration, classifier and stage
+            cache are shared (read-only) by every worker view.
+        config: Service tuning; defaults are sensible for tests.
+        runner: ``runner(view, sessions) -> labels`` executed by the
+            workers; defaults to ``view.identify_batch(sessions)``.
+            Exposed for fault injection and for serving alternative
+            heads over the same pipeline.
+        metrics: Registry to record into (a private one by default).
+    """
+
+    def __init__(
+        self,
+        wimi: WiMi,
+        config: ServiceConfig | None = None,
+        runner=None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if not wimi.is_fitted:
+            raise ValueError(
+                "IdentificationService needs a fitted WiMi; call fit() first"
+            )
+        self.wimi = wimi
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._runner = runner
+        self._inbox: queue.Queue = queue.Queue(
+            maxsize=self.config.queue_capacity
+        )
+        self._dispatch: queue.Queue = queue.Queue(
+            maxsize=self.config.dispatch_depth
+        )
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+        self._batcher: MicroBatcher | None = None
+        self._pool: WorkerPool | None = None
+        # Pre-create the instruments the snapshot readers expect even
+        # under zero traffic.
+        for name in (
+            "requests.submitted", "requests.completed", "requests.failed",
+            "requests.rejected", "requests.expired", "requests.retries",
+        ):
+            self.metrics.counter(name)
+        self.metrics.histogram("latency_ms")
+        self.metrics.histogram("queue_wait_ms")
+        self.metrics.histogram("batch_size", BATCH_SIZE_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "IdentificationService":
+        """Spin up the batcher and the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            if self._stopped:
+                raise ServiceStoppedError("service cannot be restarted")
+            self._pool = WorkerPool(
+                wimi=self.wimi,
+                dispatch=self._dispatch,
+                metrics=self.metrics,
+                num_workers=self.config.num_workers,
+                retry_budget=self.config.retry_budget,
+                backoff_base_s=self.config.backoff_base_s,
+                runner=self._runner,
+                stop_event=self._stop,
+                deadline_error=DeadlineExceededError,
+                hook_factory=lambda: StageEventRecorder(self.metrics),
+            )
+            self._batcher = MicroBatcher(
+                inbox=self._inbox,
+                dispatch=self._dispatch,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_s,
+                metrics=self.metrics,
+                stop_event=self._stop,
+            )
+            self._pool.start()
+            self._batcher.start()
+            self._started = True
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the service.
+
+        Args:
+            drain: When True, wait for already-queued requests to finish
+                before shutting the threads down; when False, fail all
+                pending requests with :class:`ServiceStoppedError`.
+            timeout: Longest to wait for the drain / thread joins.
+        """
+        with self._lock:
+            if not self._started or self._stopped:
+                self._stopped = True
+                return
+            self._stopped = True
+        deadline = time.monotonic() + timeout
+        if drain:
+            while (
+                not self._inbox.empty() or not self._dispatch.empty()
+            ) and time.monotonic() < deadline:
+                time.sleep(0.002)
+        self._stop.set()
+        assert self._batcher is not None and self._pool is not None
+        self._batcher.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._pool.join(timeout=max(0.0, deadline - time.monotonic()))
+        # Whatever is still queued can no longer run.
+        for pending_queue in (self._inbox, self._dispatch):
+            while True:
+                try:
+                    item = pending_queue.get_nowait()
+                except queue.Empty:
+                    break
+                requests = item if isinstance(item, list) else [item]
+                for request in requests:
+                    request.handle._fail(
+                        ServiceStoppedError("service stopped")
+                    )
+                    self.metrics.counter("requests.failed").inc()
+
+    def __enter__(self) -> "IdentificationService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the service accepts traffic."""
+        return self._started and not self._stopped
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, session: CaptureSession, timeout: float | None = None
+    ) -> RequestHandle:
+        """Enqueue one session for identification.
+
+        Args:
+            session: The capture session to identify.
+            timeout: Service-side deadline in seconds; falls back to
+                ``config.default_timeout_s``.  A request whose deadline
+                passes while queued or mid-flight resolves with
+                :class:`DeadlineExceededError`.
+
+        Returns:
+            A :class:`RequestHandle` resolving to the predicted label.
+
+        Raises:
+            QueueFullError: The bounded queue is at capacity.
+            ServiceStoppedError: The service is not running.
+        """
+        if not self.is_running:
+            raise ServiceStoppedError(
+                "service is not running; use start() or a with-block"
+            )
+        now = time.monotonic()
+        effective = (
+            timeout if timeout is not None else self.config.default_timeout_s
+        )
+        handle = RequestHandle()
+        request = _Request(
+            session=session,
+            handle=handle,
+            deadline=None if effective is None else now + effective,
+            submitted_at=now,
+        )
+        try:
+            self._inbox.put_nowait(request)
+        except queue.Full:
+            self.metrics.counter("requests.rejected").inc()
+            raise QueueFullError(
+                f"request queue at capacity "
+                f"({self.config.queue_capacity}); retry later"
+            ) from None
+        self.metrics.counter("requests.submitted").inc()
+        self.metrics.gauge("queue_depth").set(self._inbox.qsize())
+        return handle
+
+    def submit_many(
+        self, sessions: list[CaptureSession], timeout: float | None = None
+    ) -> list[RequestHandle]:
+        """Submit several sessions; rejection aborts at the first full
+        queue (earlier handles stay live)."""
+        return [self.submit(session, timeout=timeout) for session in sessions]
+
+    def identify(
+        self, session: CaptureSession, timeout: float | None = None
+    ) -> str:
+        """Synchronous convenience: submit and wait for the label."""
+        return self.submit(session, timeout=timeout).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Service metrics plus the shared stage cache's hit rates."""
+        snap = self.metrics.snapshot()
+        snap["stage_cache"] = self.wimi.cache.snapshot()
+        return snap

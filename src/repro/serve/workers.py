@@ -1,0 +1,230 @@
+"""Worker pool: N threads, each owning an engine view over one cache.
+
+Each worker gets its own :class:`repro.core.pipeline.WiMi` view (via
+``WiMi.clone_view``): private ``PipelineEngine`` and hook list, shared
+calibration, classifier and :class:`repro.engine.StageCache`.  Workers
+therefore never contend on engine-local state, while every artifact one
+worker computes is immediately reusable by the others.
+
+Fault isolation is per request: a batch whose engine call raises falls
+back to request-at-a-time execution, so a poisoned session fails only
+itself (its handle carries the error) and the co-scheduled sessions
+still resolve.  Each failing request is retried up to a configurable
+budget with exponential backoff before its error is returned; the
+worker thread itself survives any request failure.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable
+
+from repro.core.pipeline import WiMi
+from repro.serve.metrics import MetricsRegistry
+
+#: How often workers re-check the stop event while idle (seconds).
+_IDLE_POLL_S = 0.02
+
+
+def default_runner(view: WiMi, sessions: list) -> list[str]:
+    """The production batch path: one engine batch identify call."""
+    return view.identify_batch(sessions)
+
+
+class Worker(threading.Thread):
+    """One serving thread; see module docstring for the semantics."""
+
+    def __init__(
+        self,
+        name: str,
+        view: WiMi,
+        dispatch: queue.Queue,
+        metrics: MetricsRegistry,
+        retry_budget: int,
+        backoff_base_s: float,
+        runner: Callable[[WiMi, list], list[str]],
+        stop_event: threading.Event,
+        deadline_error: type[Exception],
+    ):
+        super().__init__(name=name, daemon=True)
+        self.view = view
+        self.dispatch = dispatch
+        self.metrics = metrics
+        self.retry_budget = retry_budget
+        self.backoff_base_s = backoff_base_s
+        self.runner = runner
+        self.stop_event = stop_event
+        self.deadline_error = deadline_error
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        self.metrics.gauge("workers.alive").inc()
+        try:
+            while True:
+                try:
+                    batch = self.dispatch.get(timeout=_IDLE_POLL_S)
+                except queue.Empty:
+                    if self.stop_event.is_set():
+                        return
+                    continue
+                self._process_batch(batch)
+        finally:
+            self.metrics.gauge("workers.alive").dec()
+
+    # ------------------------------------------------------------------
+
+    def _process_batch(self, batch: list) -> None:
+        """Run one batch with per-request fault isolation."""
+        now = time.monotonic()
+        live = []
+        for request in batch:
+            self.metrics.histogram("queue_wait_ms").observe(
+                (now - request.submitted_at) * 1000.0
+            )
+            if request.expired(now):
+                self._fail(
+                    request,
+                    self.deadline_error(
+                        "deadline passed while the request was queued"
+                    ),
+                )
+                self.metrics.counter("requests.expired").inc()
+            else:
+                live.append(request)
+        if not live:
+            return
+        self.metrics.gauge("inflight").inc(len(live))
+        try:
+            for request in live:
+                request.handle.attempts += 1
+                request.handle.batch_size = len(live)
+            try:
+                labels = self.runner(
+                    self.view, [request.session for request in live]
+                )
+                if len(labels) != len(live):
+                    raise RuntimeError(
+                        f"runner returned {len(labels)} labels for "
+                        f"{len(live)} sessions"
+                    )
+            except Exception:
+                # Batch path failed: isolate the fault by running each
+                # request on its own (with its remaining retry budget).
+                for request in live:
+                    self._run_isolated(request)
+                return
+            for request, label in zip(live, labels):
+                self._resolve(request, str(label))
+        finally:
+            self.metrics.gauge("inflight").dec(len(live))
+
+    def _run_isolated(self, request) -> None:
+        """One request, attempted until success or budget exhaustion.
+
+        The first isolated attempt is *not* counted against the retry
+        budget -- the batch attempt may have failed because of a
+        different (poisoned) co-rider.
+        """
+        error: BaseException | None = None
+        for retry in range(self.retry_budget + 1):
+            if request.expired(time.monotonic()):
+                self.metrics.counter("requests.expired").inc()
+                self._fail(
+                    request,
+                    self.deadline_error("deadline passed during retries"),
+                )
+                return
+            if retry > 0:
+                self.metrics.counter("requests.retries").inc()
+                request.handle.attempts += 1
+                time.sleep(self.backoff_base_s * (2 ** (retry - 1)))
+            try:
+                labels = self.runner(self.view, [request.session])
+                self._resolve(request, str(labels[0]))
+                return
+            except Exception as exc:  # noqa: BLE001 -- isolation boundary
+                error = exc
+        assert error is not None
+        self._fail(request, error)
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, request, label: str) -> None:
+        request.handle.latency_s = time.monotonic() - request.submitted_at
+        self.metrics.histogram("latency_ms").observe(
+            request.handle.latency_s * 1000.0
+        )
+        self.metrics.counter("requests.completed").inc()
+        request.handle._resolve(label)
+
+    def _fail(self, request, error: BaseException) -> None:
+        request.handle.latency_s = time.monotonic() - request.submitted_at
+        self.metrics.counter("requests.failed").inc()
+        request.handle._fail(error)
+
+
+class WorkerPool:
+    """The service's N workers plus their engine views.
+
+    Args:
+        wimi: The fitted pipeline whose views the workers own.
+        dispatch: Bounded batch queue fed by the micro-batcher.
+        metrics: Shared registry.
+        num_workers: Thread count.
+        retry_budget: Retries per failing request.
+        backoff_base_s: First-retry backoff (doubles per retry).
+        runner: Batch execution function (None = ``default_runner``).
+        stop_event: Shared shutdown signal.
+        deadline_error: Exception type raised for expired requests
+            (injected to avoid a circular import with ``service``).
+        hook_factory: Called once per worker; the result is registered
+            as a stage-event hook on that worker's engine view.
+    """
+
+    def __init__(
+        self,
+        wimi: WiMi,
+        dispatch: queue.Queue,
+        metrics: MetricsRegistry,
+        num_workers: int,
+        retry_budget: int,
+        backoff_base_s: float,
+        runner: Callable[[WiMi, list], list[str]] | None,
+        stop_event: threading.Event,
+        deadline_error: type[Exception],
+        hook_factory: Callable[[], Callable] | None = None,
+    ):
+        self.workers: list[Worker] = []
+        for index in range(num_workers):
+            view = wimi.clone_view()
+            if hook_factory is not None:
+                view.engine.add_hook(hook_factory())
+            self.workers.append(
+                Worker(
+                    name=f"repro-serve-worker-{index}",
+                    view=view,
+                    dispatch=dispatch,
+                    metrics=metrics,
+                    retry_budget=retry_budget,
+                    backoff_base_s=backoff_base_s,
+                    runner=runner if runner is not None else default_runner,
+                    stop_event=stop_event,
+                    deadline_error=deadline_error,
+                )
+            )
+
+    def start(self) -> None:
+        """Start every worker thread."""
+        for worker in self.workers:
+            worker.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Join every worker thread (each gets the full timeout)."""
+        for worker in self.workers:
+            worker.join(timeout=timeout)
+
+    def __len__(self) -> int:
+        return len(self.workers)

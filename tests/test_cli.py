@@ -5,18 +5,66 @@ import pytest
 from repro.cli import COMMANDS, build_parser, main
 
 
-class TestParser:
+class TestRegistry:
     def test_all_figures_registered(self):
         for expected in ("fig02", "fig15", "fig21"):
             assert expected in COMMANDS
 
-    def test_unknown_command_rejected(self):
-        with pytest.raises(SystemExit):
+    def test_benchmarks_registered_uniformly(self):
+        # bench-cache used to be special-cased outside the table; both
+        # benchmark commands must now dispatch from the same registry.
+        assert "bench-cache" in COMMANDS
+        assert "serve-bench" in COMMANDS
+
+    def test_every_command_has_runner_and_description(self):
+        for name, command in COMMANDS.items():
+            assert callable(command.runner), name
+            assert command.description, name
+
+    def test_all_excludes_benchmarks(self):
+        assert not COMMANDS["bench-cache"].in_all
+        assert not COMMANDS["serve-bench"].in_all
+        assert COMMANDS["fig15"].in_all
+
+
+class TestParser:
+    def test_unknown_command_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["fig99"])
+        # Non-zero exit and a usable message naming valid choices.
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "fig15" in err
+
+    def test_unknown_command_via_main(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-a-command"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_seed_parsed(self):
         args = build_parser().parse_args(["fig15", "--seed", "7"])
         assert args.seed == 7
+
+    def test_serve_bench_options_parsed(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--workers", "4", "--batch-size", "16",
+             "--queue-capacity", "128", "--repeat", "2"]
+        )
+        assert args.workers == 4
+        assert args.batch_size == 16
+        assert args.queue_capacity == 128
+        assert args.repeat == 2
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        # Some dotted version made it out of the package metadata.
+        assert any(ch.isdigit() for ch in out)
 
 
 class TestExecution:
@@ -25,6 +73,9 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "fig15" in out
         assert "ten-liquid" in out
+        # The listing is generated from the registry, benchmarks included.
+        assert "bench-cache" in out
+        assert "serve-bench" in out
 
     def test_fast_figure_runs(self, capsys):
         assert main(["fig08", "--seed", "1"]) == 0
@@ -36,3 +87,14 @@ class TestExecution:
         assert main(["fig02", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "angular fluctuation" in out
+
+    def test_serve_bench_runs(self, capsys):
+        assert main(["serve-bench", "--repeat", "2", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "req/s" in out
+        assert "batch" in out
+        assert "rejected" in out and "retries" in out
+        assert "stage cache" in out
+        assert "predictions identical: yes" in out

@@ -1,0 +1,104 @@
+"""Smoke tests for the ``examples/`` scripts.
+
+Each example is imported from its file and run in-process with the
+workload shrunk (fewer repetitions, shorter traces) by monkeypatching
+the collection layer -- so the scripts' full code paths execute on
+every test run and cannot silently rot, without paying paper-scale
+simulation time.
+"""
+
+import importlib.util
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.csi.collector import DataCollector, SessionConfig
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Script name -> repetition cap.  The caps respect each script's own
+#: train/test slicing (e.g. ``sessions[:9]`` needs >= 10 sessions).
+EXAMPLES = {
+    "quickstart.py": 4,
+    "environment_survey.py": 4,
+    "pepsi_vs_coke.py": 10,
+    "expired_milk_screening.py": 10,
+}
+
+#: Packets per trace during smoke runs (paper default is 20).
+SMOKE_PACKETS = 6
+
+
+@pytest.fixture
+def reduced_workload(monkeypatch, request):
+    """Cap repetitions and trace length for one example's run."""
+    reps_cap = request.param
+
+    original_collect = DataCollector.collect
+
+    def collect(self, material, config=None):
+        config = config if config is not None else SessionConfig()
+        config = replace(
+            config, num_packets=min(config.num_packets, SMOKE_PACKETS)
+        )
+        return original_collect(self, material, config)
+
+    original_collect_many = DataCollector.collect_many
+
+    def collect_many(self, material, repetitions, config=None):
+        return original_collect_many(
+            self, material, min(repetitions, reps_cap), config
+        )
+
+    original_run = runner_mod.run_identification
+
+    def run_identification(*args, **kwargs):
+        kwargs["repetitions"] = min(
+            kwargs.get("repetitions", 20), reps_cap
+        )
+        kwargs["num_packets"] = min(
+            kwargs.get("num_packets", 20), SMOKE_PACKETS
+        )
+        return original_run(*args, **kwargs)
+
+    monkeypatch.setattr(DataCollector, "collect", collect)
+    monkeypatch.setattr(DataCollector, "collect_many", collect_many)
+    monkeypatch.setattr(runner_mod, "run_identification", run_identification)
+
+
+def _load_example(script_name: str):
+    """Import an example script as a throwaway module."""
+    path = EXAMPLES_DIR / script_name
+    module_name = f"_example_{script_name.removesuffix('.py')}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    # Registered so dataclasses/pickle-style lookups inside work, then
+    # always cleaned up to keep runs independent.
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.modules.pop(module_name, None)
+
+
+@pytest.mark.parametrize(
+    "script_name,reduced_workload",
+    [(name, cap) for name, cap in EXAMPLES.items()],
+    indirect=["reduced_workload"],
+)
+def test_example_runs_end_to_end(script_name, reduced_workload, capsys):
+    module = _load_example(script_name)
+    module.main()
+    out = capsys.readouterr().out
+    assert "accuracy" in out.lower() or "identif" in out.lower()
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples/ changed; update EXAMPLES in this smoke test"
+    )

@@ -1,0 +1,138 @@
+"""Tests for the dependency-free metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StageEventRecorder,
+)
+from repro.engine.cache import StageEvent
+
+
+class TestCounter:
+    def test_counts_up(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safe_increments(self):
+        c = Counter()
+
+        def hammer():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+
+    def test_count_mean_min_max(self):
+        h = Histogram((10.0, 100.0))
+        for v in (1.0, 5.0, 50.0, 200.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(64.0)
+        snap = h.snapshot()
+        assert snap["min"] == 1.0
+        assert snap["max"] == 200.0
+
+    def test_percentiles_uniform(self):
+        # 1..100 into 10-wide buckets: percentile ~= value.
+        h = Histogram(tuple(float(b) for b in range(10, 101, 10)))
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.0, abs=5.0)
+        assert h.percentile(95) == pytest.approx(95.0, abs=5.0)
+        assert h.percentile(99) == pytest.approx(99.0, abs=5.0)
+        assert h.percentile(100) == 100.0
+
+    def test_percentile_overflow_clamps_to_observed_max(self):
+        h = Histogram((1.0,))
+        h.observe(500.0)
+        h.observe(900.0)
+        assert h.percentile(99) <= 900.0
+        assert h.snapshot()["max"] == 900.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["buckets"] == {}
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instruments(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(12.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"requests": 3}
+        assert snap["gauges"] == {"depth": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_render_text_mentions_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("requests.completed").inc()
+        reg.histogram("batch_size", BATCH_SIZE_BUCKETS).observe(4)
+        text = reg.render_text("svc")
+        assert "svc" in text
+        assert "requests.completed" in text
+        assert "batch_size" in text
+        assert "p95" in text
+
+
+class TestStageEventRecorder:
+    def test_mirrors_hits_and_executions(self):
+        reg = MetricsRegistry()
+        rec = StageEventRecorder(reg)
+        rec(StageEvent(stage="amplitude_denoise", key="k", cache_hit=False))
+        rec(StageEvent(stage="amplitude_denoise", key="k", cache_hit=True))
+        rec(StageEvent(stage="amplitude_denoise", key="k", cache_hit=True))
+        snap = reg.snapshot()["counters"]
+        assert snap["stage.amplitude_denoise.executions"] == 1
+        assert snap["stage.amplitude_denoise.hits"] == 2
