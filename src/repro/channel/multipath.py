@@ -152,6 +152,70 @@ class MultipathChannel:
             response += gain * np.exp(1j * phase)
         return response
 
+    def reflection_response_batch(
+        self,
+        frequencies_hz: np.ndarray,
+        phase_offsets: np.ndarray | None = None,
+        gain_factors: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-packet sum of reflected rays, shape ``(M, K, A)``.
+
+        Batched form of :meth:`reflection_response`: ``phase_offsets`` and
+        ``gain_factors`` carry one row per packet, shape ``(M, P)``.  The
+        per-path accumulation order matches the scalar method, so the two
+        agree to floating-point rounding.
+        """
+        freqs = np.asarray(frequencies_hz, dtype=float)
+        num_ant = len(self._rx_positions)
+        if phase_offsets is None and gain_factors is None:
+            raise ValueError(
+                "batched response needs per-packet phase_offsets or "
+                "gain_factors to determine the packet count"
+            )
+        num_packets = (
+            phase_offsets if phase_offsets is not None else gain_factors
+        ).shape[0]
+        response = np.zeros((num_packets, freqs.size, num_ant), dtype=complex)
+        if not self.paths:
+            return response
+        delays = self.reflection_delays()
+        for p, path in enumerate(self.paths):
+            base_phase = (
+                -2.0 * math.pi * freqs[:, None] * delays[p][None, :]
+                + path.static_phase
+            )
+            if phase_offsets is None:
+                phase = np.broadcast_to(
+                    base_phase[None, :, :],
+                    (num_packets,) + base_phase.shape,
+                )
+            else:
+                phase = base_phase[None, :, :] + phase_offsets[:, p, None, None]
+            if gain_factors is None:
+                gains = np.full(num_packets, path.gain)
+            else:
+                gains = path.gain * gain_factors[:, p]
+            response += gains[:, None, None] * np.exp(1j * phase)
+        return response
+
+    def total_response_batch(
+        self,
+        frequencies_hz: np.ndarray,
+        los_multiplier: np.ndarray | complex = 1.0,
+        phase_offsets: np.ndarray | None = None,
+        gain_factors: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Batched :meth:`total_response`, shape ``(M, K, A)``.
+
+        The LoS term is static across packets, so it is built once and
+        broadcast against the per-packet reflection sum.
+        """
+        los = self._los_with_multiplier(frequencies_hz, los_multiplier)
+        reflections = self.reflection_response_batch(
+            frequencies_hz, phase_offsets, gain_factors
+        )
+        return los[None, :, :] + reflections
+
     def with_phase_drift(
         self, rng: np.random.Generator, sigma_rad: float
     ) -> "MultipathChannel":
@@ -194,6 +258,17 @@ class MultipathChannel:
         cross the beaker in this layout, so they are unchanged -- which is
         why the baseline/target difference isolates the target.
         """
+        los = self._los_with_multiplier(frequencies_hz, los_multiplier)
+        return los + self.reflection_response(
+            frequencies_hz, phase_offsets, gain_factors
+        )
+
+    def _los_with_multiplier(
+        self,
+        frequencies_hz: np.ndarray,
+        los_multiplier: np.ndarray | complex = 1.0,
+    ) -> np.ndarray:
+        """LoS response with the target multiplier applied, shape ``(K, A)``."""
         los = self.los_response(frequencies_hz)
         multiplier = np.asarray(los_multiplier, dtype=complex)
         if multiplier.ndim == 0:
@@ -214,9 +289,7 @@ class MultipathChannel:
                     f"{los.shape}"
                 )
             los = los * multiplier
-        return los + self.reflection_response(
-            frequencies_hz, phase_offsets, gain_factors
-        )
+        return los
 
 
 def random_paths(

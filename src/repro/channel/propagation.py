@@ -26,6 +26,8 @@ from __future__ import annotations
 import cmath
 import math
 
+import numpy as np
+
 from repro.channel.materials import DEFAULT_FREQUENCY_HZ, EPSILON_0, Material
 
 #: Permeability of free space (H/m).  All materials here are non-magnetic.
@@ -57,6 +59,60 @@ def propagation_constants(
     beta = scale * math.sqrt(root + 1.0)
     alpha = scale * math.sqrt(root - 1.0)
     return alpha, beta
+
+
+def propagation_constants_array(
+    material: Material, frequencies_hz: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vector form of :func:`propagation_constants` over a frequency grid.
+
+    Returns ``(alpha, beta)`` arrays of the same shape as
+    ``frequencies_hz``.  Elementwise identical (to the ulp) to calling the
+    scalar form per frequency; this is the hot-path variant the CSI
+    simulator uses to build the per-subcarrier penetration grid in one go.
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    if np.any(freqs <= 0):
+        raise ValueError("frequencies must be positive")
+    eps_real = material.eps_real
+    if eps_real <= 0:
+        raise ValueError(f"eps_real must be positive, got {eps_real}")
+    omega = 2.0 * math.pi * freqs
+    # Inline Material.effective_eps_imag over the grid: the conductivity
+    # term scales inversely with frequency, the dipolar part is fixed.
+    omega_ref = 2.0 * math.pi * DEFAULT_FREQUENCY_HZ
+    sigma_part_ref = material.conductivity / (omega_ref * EPSILON_0)
+    dipolar_part = max(material.eps_imag - sigma_part_ref, 0.0)
+    eps_imag = dipolar_part + material.conductivity / (omega * EPSILON_0)
+    tan_delta = eps_imag / eps_real
+    root = np.sqrt(1.0 + tan_delta * tan_delta)
+    scale = omega * math.sqrt(MU_0 * EPSILON_0 * eps_real / 2.0)
+    beta = scale * np.sqrt(root + 1.0)
+    alpha = scale * np.sqrt(root - 1.0)
+    return alpha, beta
+
+
+def penetration_response_array(
+    material: Material,
+    path_length_m: float,
+    frequencies_hz: np.ndarray,
+    reference: Material | None = None,
+) -> np.ndarray:
+    """Vector form of :func:`penetration_response` over a frequency grid.
+
+    Returns the complex multiplier per frequency, shape of
+    ``frequencies_hz``.
+    """
+    from repro.channel.materials import AIR
+
+    if path_length_m < 0:
+        raise ValueError(f"path length must be >= 0, got {path_length_m}")
+    ref = reference if reference is not None else AIR
+    alpha_tar, beta_tar = propagation_constants_array(material, frequencies_hz)
+    alpha_ref, beta_ref = propagation_constants_array(ref, frequencies_hz)
+    ratio = np.exp(-path_length_m * (alpha_tar - alpha_ref))
+    phase = path_length_m * (beta_tar - beta_ref)
+    return ratio * np.exp(-1j * phase)
 
 
 def attenuation_constant(

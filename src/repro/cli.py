@@ -8,6 +8,7 @@ Usage::
     python -m repro all --seed 1         # every figure, in order
     python -m repro bench-cache          # stage-cache hit rates
     python -m repro serve-bench          # online-service load benchmark
+    python -m repro perf-bench --smoke   # perf-regression suite (CI size)
     python -m repro --version
 
 Every figure command prints the same rows/series the paper's figure
@@ -318,6 +319,32 @@ def _serve_bench(args) -> str:
     return "\n".join(lines)
 
 
+def _perf_bench(args) -> str:
+    """``repro perf-bench``: run the fixed performance suite.
+
+    Times the vectorised hot paths against their in-tree scalar
+    references, writes/merges the JSON report (``--output``), and
+    compares against the committed baseline (``--baseline``), exiting
+    non-zero when any benchmark regressed beyond ``--max-regression``.
+    """
+    from repro.experiments import perfbench
+
+    mode = "smoke" if args.smoke else "full"
+    baseline = perfbench.load_report(args.baseline)
+    results = perfbench.run_suite(
+        mode, progress=lambda name: print(f"  running {name}...", flush=True)
+    )
+    perfbench.write_report(args.output, mode, results)
+    regressions = perfbench.compare_to_baseline(
+        results, baseline, mode, args.max_regression
+    )
+    report = perfbench.render_report(mode, results, regressions)
+    report += f"\n  report written to {args.output}"
+    if regressions:
+        raise SystemExit(report)
+    return report
+
+
 class Command(NamedTuple):
     """One registered subcommand."""
 
@@ -351,6 +378,10 @@ COMMANDS: dict[str, Command] = {
     ),
     "serve-bench": Command(
         _serve_bench, "online identification service load benchmark",
+        in_all=False,
+    ),
+    "perf-bench": Command(
+        _perf_bench, "vectorised-kernel performance regression suite",
         in_all=False,
     ),
 }
@@ -397,6 +428,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--repeat", type=int, default=4,
         help="times each distinct session re-arrives (default 4)",
+    )
+    perf = parser.add_argument_group("perf-bench options")
+    perf.add_argument(
+        "--smoke", action="store_true",
+        help="run the small CI-sized suite instead of the full one",
+    )
+    perf.add_argument(
+        "--output", default="BENCH_PR4.json",
+        help="JSON report to write/merge (default BENCH_PR4.json)",
+    )
+    perf.add_argument(
+        "--baseline", default="BENCH_PR4.json",
+        help="committed report to compare against (default BENCH_PR4.json)",
+    )
+    perf.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="fail when new_s exceeds this multiple of the baseline's "
+        "(default 2.0; <= 0 disables the gate)",
     )
     return parser
 

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.validation import validate_antenna, validate_antenna_pair
 from repro.csi.model import CsiTrace
-from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser
+from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser, remove_outliers
 
 #: Amplitudes below this are clamped before ratios/logs (quantisation can
 #: produce exact zeros).
@@ -77,20 +78,16 @@ class AmplitudeProcessor:
             raise ValueError("empty trace")
         if not self.denoise:
             return np.clip(amps, _AMPLITUDE_EPS, None)
-        cleaned = np.empty_like(amps)
         num_packets, num_sc, num_ant = amps.shape
-        for k in range(num_sc):
-            for a in range(num_ant):
-                series = amps[:, k, a]
-                if num_packets < 4:
-                    # Too short for the wavelet stage; outliers only.
-                    from repro.dsp.wavelet_denoise import remove_outliers
-
-                    cleaned[:, k, a], _ = remove_outliers(
-                        series, self.denoiser.outlier_sigmas
-                    )
-                else:
-                    cleaned[:, k, a] = self.denoiser.denoise(series)
+        # One batched denoiser pass over all (subcarrier, antenna)
+        # columns at once: (M, K, A) -> (M, K*A) -> denoise -> back.
+        columns = amps.reshape(num_packets, num_sc * num_ant)
+        if num_packets < 4:
+            # Too short for the wavelet stage; outliers only.
+            cleaned, _ = remove_outliers(columns, self.denoiser.outlier_sigmas)
+        else:
+            cleaned = self.denoiser.denoise(columns)
+        cleaned = cleaned.reshape(num_packets, num_sc, num_ant)
         return np.clip(cleaned, _AMPLITUDE_EPS, None)
 
     def amplitude_ratio(
@@ -122,15 +119,7 @@ class AmplitudeProcessor:
         one cached denoiser pass: ``cleaned`` is the ``(M, K, A)`` output
         of :meth:`compute_clean_amplitudes`.
         """
-        i, j = pair
-        if i == j:
-            raise ValueError(f"antenna pair must be distinct, got {pair}")
-        num_antennas = cleaned.shape[2]
-        for a in (i, j):
-            if not 0 <= a < num_antennas:
-                raise ValueError(
-                    f"antenna {a} out of range [0, {num_antennas})"
-                )
+        i, j = validate_antenna_pair(pair, cleaned.shape[2])
         ratio = cleaned[:, :, i] / cleaned[:, :, j]
         return np.exp(np.mean(np.log(ratio), axis=0))
 
@@ -149,10 +138,7 @@ class AmplitudeProcessor:
         amps = trace.amplitudes()
         if amps.size == 0:
             raise ValueError("empty trace")
-        if not 0 <= antenna < amps.shape[2]:
-            raise ValueError(
-                f"antenna {antenna} out of range [0, {amps.shape[2]})"
-            )
+        validate_antenna(antenna, amps.shape[2])
         series = amps[:, :, antenna]
         means = np.clip(series.mean(axis=0), _AMPLITUDE_EPS, None)
         return series.var(axis=0) / (means ** 2)
@@ -173,12 +159,4 @@ class AmplitudeProcessor:
     def _check_pair(trace: CsiTrace, pair: tuple[int, int]) -> tuple[int, int]:
         if len(trace) == 0:
             raise ValueError("empty trace")
-        i, j = pair
-        if i == j:
-            raise ValueError(f"antenna pair must be distinct, got {pair}")
-        for a in (i, j):
-            if not 0 <= a < trace.num_antennas:
-                raise ValueError(
-                    f"antenna {a} out of range [0, {trace.num_antennas})"
-                )
-        return i, j
+        return validate_antenna_pair(pair, trace.num_antennas)

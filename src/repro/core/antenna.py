@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.amplitude import AmplitudeProcessor
 from repro.core.phase import PhaseCalibrator
 from repro.core.subcarrier import SubcarrierSelector
+from repro.core.validation import validate_antenna_pair
 from repro.csi.collector import CaptureSession
 from repro.csi.model import CsiTrace
 
@@ -62,6 +63,7 @@ class AntennaPairSelector:
         self, session: CaptureSession, pair: tuple[int, int]
     ) -> PairStability:
         """Fig. 10 stability metrics of one pair, pooled over the session."""
+        validate_antenna_pair(pair, session.num_antennas)
         phase_var = float(
             np.mean(
                 self.selector.combined_variances(

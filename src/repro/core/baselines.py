@@ -26,8 +26,9 @@ from repro.core.feature import (
     _omega_from,
     resolve_gamma_with_coarse,
 )
+from repro.core.validation import validate_antenna
 from repro.csi.collector import CaptureSession
-from repro.dsp.stats import circular_mean, wrap_phase
+from repro.dsp.stats import circular_mean, circular_mean_axis, wrap_phase
 
 
 class AbsoluteFeatureExtractor:
@@ -74,25 +75,14 @@ class AbsoluteFeatureExtractor:
         """Extract the absolute feature from one paired session."""
         if not subcarriers:
             raise ValueError("need at least one selected subcarrier")
-        if self.antenna >= session.num_antennas:
-            raise ValueError(
-                f"antenna {self.antenna} out of range "
-                f"[0, {session.num_antennas})"
-            )
+        validate_antenna(self.antenna, session.num_antennas)
 
         # Absolute phase change per subcarrier (paper Eq. 2, negated to
         # the paper's sign convention like the differential extractor).
         base = session.baseline.matrix()[:, :, self.antenna]
         target = session.target.matrix()[:, :, self.antenna]
-        base_phase = np.array(
-            [circular_mean(np.angle(base[:, k])) for k in range(base.shape[1])]
-        )
-        tar_phase = np.array(
-            [
-                circular_mean(np.angle(target[:, k]))
-                for k in range(target.shape[1])
-            ]
-        )
+        base_phase = circular_mean_axis(np.angle(base), axis=0)
+        tar_phase = circular_mean_axis(np.angle(target), axis=0)
         theta_all = -np.asarray(wrap_phase(tar_phase - base_phase))
 
         # Absolute amplitude change per subcarrier (paper Eq. 4).

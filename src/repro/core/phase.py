@@ -18,8 +18,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.validation import validate_antenna, validate_antenna_pair
 from repro.csi.model import CsiTrace
-from repro.dsp.stats import angular_spread_deg, circular_mean
+from repro.dsp.stats import (
+    angular_spread_deg,
+    angular_spread_deg_axis,
+    circular_mean_axis,
+)
 
 
 class PhaseCalibrator:
@@ -55,7 +60,7 @@ class PhaseCalibrator:
         ``Delta-Z`` in Eq. 6.
         """
         diffs = self.phase_difference(trace, pair)
-        return np.array([circular_mean(diffs[:, k]) for k in range(diffs.shape[1])])
+        return circular_mean_axis(diffs, axis=0)
 
     def angular_fluctuation_deg(
         self,
@@ -84,10 +89,7 @@ class PhaseCalibrator:
                 )
             return angular_spread_deg(values[:, subcarrier])
         # Pool per-subcarrier spreads (each subcarrier has its own centre).
-        spreads = [
-            angular_spread_deg(values[:, k]) for k in range(values.shape[1])
-        ]
-        return float(np.mean(spreads))
+        return float(np.mean(angular_spread_deg_axis(values, axis=0)))
 
     # ------------------------------------------------------------------
 
@@ -95,21 +97,10 @@ class PhaseCalibrator:
     def _check_antenna(trace: CsiTrace, antenna: int) -> None:
         if len(trace) == 0:
             raise ValueError("empty trace")
-        if not 0 <= antenna < trace.num_antennas:
-            raise ValueError(
-                f"antenna {antenna} out of range [0, {trace.num_antennas})"
-            )
+        validate_antenna(antenna, trace.num_antennas)
 
     @staticmethod
     def _check_pair(trace: CsiTrace, pair: tuple[int, int]) -> tuple[int, int]:
         if len(trace) == 0:
             raise ValueError("empty trace")
-        i, j = pair
-        if i == j:
-            raise ValueError(f"antenna pair must be distinct, got {pair}")
-        for a in (i, j):
-            if not 0 <= a < trace.num_antennas:
-                raise ValueError(
-                    f"antenna {a} out of range [0, {trace.num_antennas})"
-                )
-        return i, j
+        return validate_antenna_pair(pair, trace.num_antennas)

@@ -1,0 +1,33 @@
+"""Shared input validation for the core pipeline modules.
+
+The antenna-pair range check used to be copy-pasted across
+``core/amplitude.py``, ``core/phase.py`` and the antenna selector; it
+lives here once so every module raises identical, grep-able messages.
+"""
+
+from __future__ import annotations
+
+
+def validate_antenna(antenna: int, num_antennas: int) -> int:
+    """Check a single antenna index against the array size."""
+    if not 0 <= antenna < num_antennas:
+        raise ValueError(
+            f"antenna {antenna} out of range [0, {num_antennas})"
+        )
+    return antenna
+
+
+def validate_antenna_pair(
+    pair: tuple[int, int], num_antennas: int
+) -> tuple[int, int]:
+    """Check that ``pair`` names two distinct in-range antennas.
+
+    Returns the pair unpacked as ``(i, j)`` so call sites can keep their
+    ``i, j = validate_antenna_pair(...)`` shape.
+    """
+    i, j = pair
+    if i == j:
+        raise ValueError(f"antenna pair must be distinct, got {pair}")
+    for a in (i, j):
+        validate_antenna(a, num_antennas)
+    return i, j

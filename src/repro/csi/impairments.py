@@ -63,6 +63,32 @@ class IntelQuantizer:
         imag = np.round(csi.imag * scale) / scale
         return real + 1j * imag
 
+    def apply_batch(self, csi: np.ndarray) -> np.ndarray:
+        """Quantise a packet block ``(M, K, A)`` with per-packet scales.
+
+        Matches :meth:`apply` called per packet: each packet gets its own
+        automatic scale from its own peak component.
+        """
+        if not self.enabled:
+            return np.array(csi, dtype=complex)
+        csi = np.asarray(csi, dtype=complex)
+        if csi.shape[0] == 0:
+            return csi.copy()
+        peak = np.maximum(
+            np.abs(csi.real).max(axis=(1, 2), initial=0.0),
+            np.abs(csi.imag).max(axis=(1, 2), initial=0.0),
+        )
+        safe = np.where(peak > 0.0, peak, 1.0)
+        scale = (self.max_level / safe)[:, None, None]
+        quantised = (
+            np.round(csi.real * scale) / scale
+            + 1j * (np.round(csi.imag * scale) / scale)
+        )
+        silent = peak == 0.0
+        if silent.any():
+            quantised[silent] = csi[silent]
+        return quantised
+
 
 @dataclass(frozen=True)
 class HardwareProfile:
@@ -228,6 +254,135 @@ class HardwareProfile:
 
         # 5. Report quantisation.
         return self.quantizer.apply(csi)
+
+    # ------------------------------------------------------------------
+    # Batched application (vectorised capture path)
+    # ------------------------------------------------------------------
+
+    def draw_packet_impairments(
+        self, num_subcarriers: int, num_antennas: int, rng: np.random.Generator
+    ) -> "PacketImpairmentDraws":
+        """Consume one packet's worth of impairment randomness.
+
+        Draws from ``rng`` in *exactly* the order :meth:`apply_to_packet`
+        does, without touching any CSI.  This lets the simulator separate
+        the sequential RNG stream (which fixes the seed -> trace mapping)
+        from the arithmetic, which can then run vectorised over all
+        packets at once.
+        """
+        slope = rng.uniform(
+            -self.sfo_pbd_slope_range, self.sfo_pbd_slope_range
+        )
+        offset = (
+            rng.uniform(0.0, 2.0 * math.pi) if self.cfo_full_circle else 0.0
+        )
+        shape = (num_subcarriers, num_antennas)
+        phase_z = rng.normal(0.0, self.phase_noise_rad, size=shape)
+        amp_z = rng.normal(0.0, self.amplitude_noise, size=shape)
+        common_gain = (
+            1.0 + rng.normal(0.0, self.common_gain_jitter)
+            if self.common_gain_jitter > 0
+            else 1.0
+        )
+        outlier_mult = 1.0
+        if self.outlier_probability > 0 and rng.random() < self.outlier_probability:
+            lo, hi = self.outlier_magnitude_range
+            magnitude = rng.uniform(lo, hi)
+            if rng.random() < 0.5:
+                magnitude = 1.0 / magnitude
+            outlier_mult = magnitude
+        impulses: list[tuple[int, np.ndarray]] = []
+        if self.impulse_probability > 0:
+            for a in range(num_antennas):
+                if rng.random() >= self.impulse_probability:
+                    continue
+                burst = rng.standard_normal(num_subcarriers) + 1j * (
+                    rng.standard_normal(num_subcarriers)
+                )
+                impulses.append((a, burst))
+        return PacketImpairmentDraws(
+            clock_slope=slope,
+            clock_offset=offset,
+            phase_z=phase_z,
+            amp_z=amp_z,
+            common_gain=common_gain,
+            outlier_mult=outlier_mult,
+            impulses=impulses,
+        )
+
+    def apply_to_packets(
+        self, clean_csi: np.ndarray, draws: list["PacketImpairmentDraws"]
+    ) -> np.ndarray:
+        """Batched :meth:`apply_to_packet` over a block ``(M, K, A)``.
+
+        ``draws`` must come from :meth:`draw_packet_impairments`, one entry
+        per packet.  Identical maths to the scalar path, reassociated only
+        where IEEE multiplication by exactly 1.0 is a no-op, so results
+        match the per-packet path to floating-point rounding.
+        """
+        csi = np.array(clean_csi, dtype=complex)
+        num_packets, num_sc, num_ant = csi.shape
+        if len(draws) != num_packets:
+            raise ValueError(
+                f"{len(draws)} draw records for {num_packets} packets"
+            )
+        if num_packets == 0:
+            return csi
+
+        # 1. Clock errors (common across antennas).
+        k = np.arange(num_sc, dtype=float)
+        slopes = np.array([d.clock_slope for d in draws])
+        offsets = np.array([d.clock_offset for d in draws])
+        clock = k[None, :] * slopes[:, None] + offsets[:, None]
+        csi = csi * np.exp(1j * clock)[:, :, None]
+
+        # 2. Per-antenna measurement noise.
+        factors = np.array(
+            [self.noise_factor(a) for a in range(num_ant)], dtype=float
+        )
+        phase_z = np.stack([d.phase_z for d in draws])
+        amp_z = np.stack([d.amp_z for d in draws])
+        csi = csi * (1.0 + amp_z * factors[None, None, :])
+        csi = csi * np.exp(1j * phase_z * factors[None, None, :])
+
+        # 3. Common-mode gain and outlier excursions (x * 1.0 is exact for
+        #    untriggered packets, so one broadcast multiply suffices).
+        common = np.array([d.common_gain for d in draws])
+        csi = csi * common[:, None, None]
+        outlier = np.array([d.outlier_mult for d in draws])
+        csi = csi * outlier[:, None, None]
+
+        # 4. Impulse bursts: rare, applied sparsely.  The burst level
+        #    depends on the already-corrupted packet, exactly as in the
+        #    scalar path.
+        for m, d in enumerate(draws):
+            for a, burst in d.impulses:
+                level = float(np.mean(np.abs(csi[m, :, a])))
+                if level == 0.0:
+                    level = 1.0
+                scale = self.impulse_magnitude * level
+                csi[m, :, a] = csi[m, :, a] + scale * burst / math.sqrt(2.0)
+
+        # 5. Report quantisation.
+        return self.quantizer.apply_batch(csi)
+
+
+@dataclass(frozen=True)
+class PacketImpairmentDraws:
+    """One packet's pre-drawn impairment randomness.
+
+    Produced by :meth:`HardwareProfile.draw_packet_impairments`; the field
+    order mirrors the draw order of :meth:`HardwareProfile.apply_to_packet`
+    so the sequential RNG stream is preserved exactly.
+    """
+
+    clock_slope: float
+    clock_offset: float
+    phase_z: np.ndarray
+    amp_z: np.ndarray
+    common_gain: float
+    outlier_mult: float
+    impulses: list[tuple[int, np.ndarray]]
 
 
 def clean_profile() -> HardwareProfile:

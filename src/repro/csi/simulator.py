@@ -42,7 +42,10 @@ from repro.channel.environment import Environment, make_environment
 from repro.channel.geometry import CylinderTarget, LinkGeometry
 from repro.channel.materials import Material
 from repro.channel.multipath import MultipathChannel
-from repro.channel.propagation import penetration_response
+from repro.channel.propagation import (
+    penetration_response,
+    penetration_response_array,
+)
 from repro.csi.impairments import HardwareProfile
 from repro.csi.model import CsiTrace
 from repro.csi.subcarriers import subcarrier_frequencies
@@ -129,6 +132,29 @@ class CsiSimulator:
         Combines liquid-column and container-wall penetration (Eq. 2-4),
         bulk-gain normalisation, and diffraction blending.
         """
+        target = self.scene.target
+        if target is None:
+            raise ValueError("scene has no target; nothing to multiply")
+        geometry = self.scene.geometry
+        liquid_paths = geometry.liquid_path_lengths(target)
+        wall_paths = geometry.wall_path_lengths(target)
+        wall_material = target.wall_material
+
+        num_ant = len(liquid_paths)
+        grid = np.zeros((self.frequencies_hz.size, num_ant), dtype=complex)
+        for a in range(num_ant):
+            # All subcarriers of one antenna in a single array pass.
+            grid[:, a] = penetration_response_array(
+                material, liquid_paths[a], self.frequencies_hz
+            ) * penetration_response_array(
+                wall_material, wall_paths[a], self.frequencies_hz
+            )
+
+        grid = self._normalise_bulk_gain(grid)
+        return self._blend_diffraction(grid, target)
+
+    def _reference_target_multiplier(self, material: Material) -> np.ndarray:
+        """Original per-(subcarrier, antenna) scalar loop (equivalence ref)."""
         target = self.scene.target
         if target is None:
             raise ValueError("scene has no target; nothing to multiply")
@@ -254,6 +280,115 @@ class CsiSimulator:
                 this knob simulates a moving/flowing target so that
                 limitation can be quantified (motion ablation bench).
                 0 = the paper's static protocol.
+        """
+        if num_packets < 0:
+            raise ValueError(f"num_packets must be >= 0, got {num_packets}")
+        if motion_std_m < 0:
+            raise ValueError(f"motion_std_m must be >= 0, got {motion_std_m}")
+        if material is not None and self.scene.target is None:
+            raise ValueError(
+                "material given but the scene has no target container"
+            )
+        if material is not None and motion_std_m > 0:
+            # The moving-target multiplier is inherently sequential (each
+            # packet re-solves the displaced geometry); keep the scalar
+            # per-packet path for it.
+            return self._reference_capture(
+                material, num_packets, label, motion_std_m
+            )
+        if material is None:
+            multiplier: np.ndarray | complex = 1.0
+        else:
+            multiplier = self.target_multiplier(material)
+
+        env = self.scene.environment
+        num_paths = len(self.channel.paths)
+        jitter_scales = np.array(
+            [p.jitter_scale for p in self.channel.paths], dtype=float
+        )
+        num_ant = self.channel.num_antennas
+        num_sc = self.frequencies_hz.size
+
+        if num_packets == 0:
+            return CsiTrace.from_matrix(
+                np.zeros((0, num_sc, num_ant), dtype=complex),
+                carrier_hz=self.scene.carrier_hz,
+                packet_interval_s=PACKET_INTERVAL_S,
+                label=label,
+            )
+
+        # Draw pass: consume the RNG stream packet by packet in *exactly*
+        # the legacy order (jitter, gains, noise, impairments), so a seed
+        # maps to the same trace as the original per-packet loop.  Every
+        # draw count is data independent, which is what makes the split
+        # between drawing and computing possible.
+        phase_offsets = (
+            np.zeros((num_packets, num_paths)) if num_paths else None
+        )
+        gain_factors = (
+            np.zeros((num_packets, num_paths)) if num_paths else None
+        )
+        noise = (
+            np.zeros((num_packets, num_sc, num_ant), dtype=complex)
+            if env.noise_floor > 0
+            else None
+        )
+        draws = []
+        for m in range(num_packets):
+            if num_paths:
+                phase_offsets[m] = self.rng.normal(
+                    0.0, env.temporal_jitter_rad, size=num_paths
+                ) * jitter_scales
+                gain_factors[m] = np.clip(
+                    1.0 + self.rng.normal(0.0, env.gain_jitter, size=num_paths),
+                    0.0,
+                    None,
+                )
+            if env.noise_floor > 0:
+                noise[m] = self.rng.standard_normal((num_sc, num_ant)) + 1j * (
+                    self.rng.standard_normal((num_sc, num_ant))
+                )
+            draws.append(
+                self.profile.draw_packet_impairments(num_sc, num_ant, self.rng)
+            )
+
+        # Compute pass: one broadcast evaluation over all packets.
+        if num_paths:
+            clean = self.channel.total_response_batch(
+                self.frequencies_hz,
+                los_multiplier=multiplier,
+                phase_offsets=phase_offsets,
+                gain_factors=gain_factors,
+            )
+        else:
+            static = self.channel.total_response(
+                self.frequencies_hz, los_multiplier=multiplier
+            )
+            clean = np.broadcast_to(
+                static[None, :, :], (num_packets, num_sc, num_ant)
+            ).copy()
+        if noise is not None:
+            clean = clean + env.noise_floor * noise / math.sqrt(2.0)
+        packets = self.profile.apply_to_packets(clean, draws)
+
+        return CsiTrace.from_matrix(
+            packets,
+            carrier_hz=self.scene.carrier_hz,
+            packet_interval_s=PACKET_INTERVAL_S,
+            label=label,
+        )
+
+    def _reference_capture(
+        self,
+        material: Material | None,
+        num_packets: int,
+        label: str = "",
+        motion_std_m: float = 0.0,
+    ) -> CsiTrace:
+        """Original per-packet capture loop.
+
+        Still the implementation of record for moving targets, and the
+        baseline the equivalence tests and perf-bench compare against.
         """
         if num_packets < 0:
             raise ValueError(f"num_packets must be >= 0, got {num_packets}")

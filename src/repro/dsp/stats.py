@@ -102,6 +102,57 @@ def sample_variance(x: np.ndarray) -> float:
     return float(np.mean((x - np.mean(x)) ** 2))
 
 
+# ----------------------------------------------------------------------
+# Axis-aware variants -- one call instead of a per-column comprehension.
+# Each reduces along ``axis`` and mirrors its scalar sibling exactly.
+# ----------------------------------------------------------------------
+
+
+def circular_mean_axis(angles_rad: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Per-slice :func:`circular_mean` along ``axis``."""
+    angles = np.asarray(angles_rad, dtype=float)
+    if angles.size == 0:
+        raise ValueError("circular_mean of an empty set is undefined")
+    return np.angle(np.mean(np.exp(1j * angles), axis=axis))
+
+
+def resultant_length_axis(angles_rad: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Per-slice :func:`resultant_length` along ``axis``."""
+    angles = np.asarray(angles_rad, dtype=float)
+    if angles.size == 0:
+        raise ValueError("resultant_length of an empty set is undefined")
+    return np.abs(np.mean(np.exp(1j * angles), axis=axis))
+
+
+def circular_std_axis(angles_rad: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Per-slice :func:`circular_std` along ``axis`` (inf where R <= 0)."""
+    r = resultant_length_axis(angles_rad, axis=axis)
+    r = np.atleast_1d(np.asarray(r, dtype=float))
+    out = np.full(r.shape, math.inf)
+    positive = r > 0.0
+    out[positive] = np.sqrt(np.clip(-2.0 * np.log(r[positive]), 0.0, None))
+    return out
+
+
+def angular_spread_deg_axis(angles_rad: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Per-slice :func:`angular_spread_deg` along ``axis`` (capped 180)."""
+    return np.minimum(np.degrees(circular_std_axis(angles_rad, axis)), 180.0)
+
+
+def mad_axis(x: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Per-slice :func:`mad` along ``axis``."""
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        raise ValueError("mad of an empty array is undefined")
+    med = np.median(x, axis=axis, keepdims=True)
+    return np.median(np.abs(x - med), axis=axis)
+
+
+def robust_sigma_axis(x: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Per-slice :func:`robust_sigma` along ``axis``."""
+    return mad_axis(x, axis=axis) / 0.6745
+
+
 def phase_difference_variance(phase_diffs_rad: np.ndarray) -> float:
     """Paper Eq. 7: variance of a phase-difference series across packets.
 

@@ -24,6 +24,19 @@ has full length):
 Everything left in the work buffers when iteration stops is treated as
 noise and discarded; the inverse transform of the extracted coefficients
 is the denoised signal.
+
+Batched operation
+-----------------
+Every entry point accepts either a 1-D series ``(time,)`` or a 2-D
+``(time, channels)`` array.  In the 2-D form the wavelet transform runs
+along axis 0 for all channels at once and the extract-and-repeat loop
+keeps a per-channel *active mask* (each channel stops iterating at its
+own threshold), so one call denoises every (subcarrier, antenna) column
+of a CSI trace -- the pipeline's hot path.  Per-channel results equal
+the corresponding 1-D call to within floating-point summation order
+(<= 1e-9; see ``tests/test_perf_equivalence.py``).  The original scalar
+implementations are kept as ``_reference_*`` for the equivalence tests
+and the perf-bench baseline.
 """
 
 from __future__ import annotations
@@ -32,23 +45,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.stats import robust_sigma
-from repro.dsp.wavelet import Wavelet, get_wavelet, iswt, max_swt_level, swt
+from repro.dsp.stats import robust_sigma, robust_sigma_axis
+from repro.dsp.wavelet import (
+    Wavelet,
+    _reference_iswt,
+    _reference_swt,
+    get_wavelet,
+    iswt,
+    max_swt_level,
+    swt,
+)
 
 
-def remove_outliers(
+def _reference_remove_outliers(
     x: np.ndarray, num_sigmas: float = 3.0
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Paper's first denoising step: 3-sigma outlier rejection.
-
-    Samples outside ``[mu - k sigma, mu + k sigma]`` are replaced by the
-    median of the surviving samples (the paper "filters out" the outliers;
-    replacing keeps the series aligned in time, which the wavelet stage
-    needs).
-
-    Returns:
-        ``(cleaned, outlier_mask)``.
-    """
+    """Original strictly-1-D :func:`remove_outliers` (equivalence ref)."""
     x = np.asarray(x, dtype=float)
     if x.ndim != 1:
         raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
@@ -66,6 +78,52 @@ def remove_outliers(
         survivors = x[~mask]
         fill = float(np.median(survivors)) if survivors.size else mu
         cleaned[mask] = fill
+    return cleaned, mask
+
+
+def remove_outliers(
+    x: np.ndarray, num_sigmas: float = 3.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Paper's first denoising step: 3-sigma outlier rejection.
+
+    Samples outside ``[mu - k sigma, mu + k sigma]`` are replaced by the
+    median of the surviving samples (the paper "filters out" the outliers;
+    replacing keeps the series aligned in time, which the wavelet stage
+    needs).
+
+    ``x`` may be 1-D or 2-D ``(time, channels)``; in the 2-D form every
+    channel column is screened against its own mean/std.
+
+    Returns:
+        ``(cleaned, outlier_mask)``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        return _reference_remove_outliers(x, num_sigmas)
+    if x.ndim != 2:
+        raise ValueError(
+            f"expected a 1-D or 2-D (time, channels) signal, "
+            f"got shape {x.shape}"
+        )
+    if x.size == 0:
+        raise ValueError("expected a non-empty signal")
+    if num_sigmas <= 0:
+        raise ValueError(f"num_sigmas must be positive, got {num_sigmas}")
+    mu = np.mean(x, axis=0)
+    sigma = np.std(x, axis=0)
+    cleaned = x.copy()
+    mask = np.zeros(x.shape, dtype=bool)
+    screened = sigma > 0.0
+    mask[:, screened] = (
+        np.abs(x[:, screened] - mu[screened])
+        > num_sigmas * sigma[screened]
+    )
+    # Outlier-bearing columns are rare; only they need the survivor
+    # median (which has no clean full-array vectorization).
+    for c in np.nonzero(mask.any(axis=0))[0]:
+        survivors = x[~mask[:, c], c]
+        fill = float(np.median(survivors)) if survivors.size else float(mu[c])
+        cleaned[mask[:, c], c] = fill
     return cleaned, mask
 
 
@@ -99,16 +157,23 @@ class SpatiallySelectiveDenoiser:
     # ------------------------------------------------------------------
 
     def denoise(self, x: np.ndarray) -> np.ndarray:
-        """Full pipeline: outlier rejection, then correlation filtering."""
+        """Full pipeline: outlier rejection, then correlation filtering.
+
+        Accepts 1-D ``(time,)`` or 2-D ``(time, channels)`` input; the
+        2-D form denoises every channel in one batched pass.
+        """
         cleaned, _ = remove_outliers(x, self.outlier_sigmas)
         return self.correlation_filter(cleaned)
 
     def correlation_filter(self, x: np.ndarray) -> np.ndarray:
         """Eq. 8-13 cross-scale correlation filtering (no outlier step)."""
         x = np.asarray(x, dtype=float)
-        if x.ndim != 1:
-            raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
-        limit = max_swt_level(x.size, self._wavelet)
+        if x.ndim not in (1, 2):
+            raise ValueError(
+                f"expected a 1-D or 2-D (time, channels) signal, "
+                f"got shape {x.shape}"
+            )
+        limit = max_swt_level(x.shape[0], self._wavelet)
         if limit == 0:
             # Too short to transform: nothing to do.
             return x.copy()
@@ -125,7 +190,39 @@ class SpatiallySelectiveDenoiser:
         ``details[l]`` is correlated with ``details[l+1]``; the coarsest
         scale has no neighbour and pairs with itself (plain magnitude
         comparison), which reduces to keeping its strongest coefficients.
+
+        With 2-D coefficient arrays the extract-and-repeat loop runs on
+        all channels simultaneously; a per-channel active mask freezes
+        channels whose residual power has hit their own threshold (the
+        batched equivalent of the scalar ``break``).
         """
+        if details[0].ndim == 1:
+            return self._filter_details_1d(details)
+        work = [d.copy() for d in details]
+        out = [np.zeros_like(d) for d in details]
+        num_levels = len(details)
+        for l in range(num_levels):
+            neighbour_idx = l + 1 if l + 1 < num_levels else l
+            threshold = self._noise_threshold(details[l])
+            active = np.ones(details[l].shape[1], dtype=bool)
+            for _ in range(self.max_iterations):
+                power = np.sum(work[l] ** 2, axis=0)
+                active &= power > threshold
+                if not active.any():
+                    break
+                mask = self._signal_mask(work[l], work[neighbour_idx])
+                mask &= active[None, :]
+                active &= mask.any(axis=0)
+                if not active.any():
+                    break
+                out[l][mask] += work[l][mask]
+                work[l][mask] = 0.0
+        return out
+
+    def _filter_details_1d(
+        self, details: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Scalar (1-D) extract-and-repeat loop."""
         work = [d.copy() for d in details]
         out = [np.zeros_like(d) for d in details]
         num_levels = len(details)
@@ -147,23 +244,58 @@ class SpatiallySelectiveDenoiser:
     def _signal_mask(w_l: np.ndarray, w_next: np.ndarray) -> np.ndarray:
         """Positions where cross-scale correlation dominates (signal)."""
         corr = w_l * w_next  # Eq. 11
-        p_w = float(np.sum(w_l ** 2))
-        p_corr = float(np.sum(corr ** 2))
-        if p_corr == 0.0 or p_w == 0.0:
-            return np.zeros(w_l.shape, dtype=bool)
-        ncorr = corr * np.sqrt(p_w / p_corr)  # Eq. 12
-        return np.abs(ncorr) >= np.abs(w_l)  # Eq. 13 (reference convention)
+        if w_l.ndim == 1:
+            p_w = float(np.sum(w_l ** 2))
+            p_corr = float(np.sum(corr ** 2))
+            if p_corr == 0.0 or p_w == 0.0:
+                return np.zeros(w_l.shape, dtype=bool)
+            ncorr = corr * np.sqrt(p_w / p_corr)  # Eq. 12
+            return np.abs(ncorr) >= np.abs(w_l)  # Eq. 13 (reference conv.)
+        p_w = np.sum(w_l ** 2, axis=0)
+        p_corr = np.sum(corr ** 2, axis=0)
+        valid = (p_corr > 0.0) & (p_w > 0.0)
+        scale = np.zeros(p_w.shape)
+        scale[valid] = np.sqrt(p_w[valid] / p_corr[valid])
+        ncorr = corr * scale[None, :]
+        return (np.abs(ncorr) >= np.abs(w_l)) & valid[None, :]
 
     @staticmethod
-    def _noise_threshold(detail: np.ndarray) -> float:
+    def _noise_threshold(detail: np.ndarray) -> float | np.ndarray:
         """Residual-power stopping threshold from the robust median rule.
 
         The noise std-dev in a detail band is estimated as
         ``MAD / 0.6745``; iteration stops once the remaining band power is
-        what pure noise of that level would carry.
+        what pure noise of that level would carry.  For 2-D coefficients
+        the threshold is per channel.
         """
-        sigma = robust_sigma(detail)
-        return detail.size * sigma * sigma
+        if detail.ndim == 1:
+            sigma = robust_sigma(detail)
+            return detail.size * sigma * sigma
+        sigma = robust_sigma_axis(detail, axis=0)
+        return detail.shape[0] * sigma * sigma
+
+    # ------------------------------------------------------------------
+    # Scalar reference path (pre-vectorization), for equivalence tests
+    # and the perf-bench baseline.
+    # ------------------------------------------------------------------
+
+    def _reference_denoise(self, x: np.ndarray) -> np.ndarray:
+        """Original strictly-1-D :meth:`denoise`."""
+        cleaned, _ = _reference_remove_outliers(x, self.outlier_sigmas)
+        return self._reference_correlation_filter(cleaned)
+
+    def _reference_correlation_filter(self, x: np.ndarray) -> np.ndarray:
+        """Original strictly-1-D :meth:`correlation_filter`."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 1:
+            raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
+        limit = max_swt_level(x.size, self._wavelet)
+        if limit == 0:
+            return x.copy()
+        levels = min(self.levels, limit)
+        approx, details = _reference_swt(x, self._wavelet, levels)
+        new_details = self._filter_details_1d(details)
+        return _reference_iswt(approx, new_details, self._wavelet)
 
 
 def wavelet_denoise(

@@ -39,7 +39,11 @@ from repro.experiments.datasets import (
     standard_scene,
     standard_target,
 )
-from repro.experiments.runner import fit_and_score, run_identification
+from repro.experiments.runner import (
+    fit_and_score,
+    parallel_map,
+    run_identification,
+)
 
 _CATALOG = default_catalog()
 
@@ -463,31 +467,44 @@ def concentration_confusion(
 # ----------------------------------------------------------------------
 
 
+def _distance_task(args: tuple) -> float:
+    """Picklable worker for :func:`distance_sweep` (one env x distance)."""
+    material_names, env, distance, repetitions, seed = args
+    return run_identification(
+        _materials(material_names),
+        scene=standard_scene(env, distance_m=distance),
+        repetitions=repetitions,
+        seed=seed,
+    ).accuracy
+
+
 def distance_sweep(
     distances_m=(1.0, 1.5, 2.0, 2.5, 3.0),
     environments=("hall", "lab", "library"),
     repetitions: int = 8,
     seed: int = 0,
     material_names=HARD_LIQUIDS,
+    workers: int = 1,
 ) -> dict:
     """Fig. 17: accuracy vs Tx-Rx distance, per environment.
 
     Shape target: accuracy decreases with distance (98% -> ~87% in the
     paper) and richer-multipath environments sit lower.
+
+    With ``workers > 1`` the (environment, distance) grid points run in
+    parallel processes; each point is self-contained and deterministic,
+    so the result is identical to the serial sweep.
     """
-    materials = _materials(material_names)
+    material_names = tuple(material_names)
+    grid = [
+        (material_names, env, distance, repetitions, seed)
+        for env in environments
+        for distance in distances_m
+    ]
+    accuracies = parallel_map(_distance_task, grid, workers=workers)
     out = {}
-    for env in environments:
-        series = []
-        for distance in distances_m:
-            result = run_identification(
-                materials,
-                scene=standard_scene(env, distance_m=distance),
-                repetitions=repetitions,
-                seed=seed,
-            )
-            series.append((distance, result.accuracy))
-        out[env] = series
+    for (_, env, distance, _, _), accuracy in zip(grid, accuracies):
+        out.setdefault(env, []).append((distance, accuracy))
     return out
 
 
@@ -496,47 +513,61 @@ def distance_sweep(
 # ----------------------------------------------------------------------
 
 
+def _packet_env_task(args: tuple) -> list:
+    """Picklable worker for :func:`packet_sweep` (one environment)."""
+    material_names, env, packet_counts, repetitions, seed = args
+    materials = _materials(material_names)
+    labels = [m.name for m in materials]
+    dataset = collect_dataset(
+        materials,
+        scene=standard_scene(env),
+        repetitions=repetitions,
+        num_packets=max(packet_counts),
+        seed=seed,
+    )
+    # Artifacts are keyed by trace *content*, so the full-length
+    # truncation (count == max_packets) hits the artifacts already
+    # computed for the untruncated dataset despite being new objects.
+    env_cache = StageCache()
+    series = []
+    for count in packet_counts:
+        truncated = {
+            name: [s.truncated(count) for s in group]
+            for name, group in dataset.items()
+        }
+        train, test = split_dataset(truncated)
+        result = fit_and_score(
+            train, test, labels, materials, cache=env_cache
+        )
+        series.append((count, result.accuracy))
+    return series
+
+
 def packet_sweep(
     packet_counts=(3, 5, 10, 20, 30),
     environments=("hall", "lab", "library"),
     repetitions: int = 8,
     seed: int = 0,
     material_names=HARD_LIQUIDS,
+    workers: int = 1,
 ) -> dict:
     """Fig. 18: accuracy vs number of packets per measurement.
 
     Shape target: accuracy rises with packets and saturates around 20
     (the paper's operating point).
+
+    With ``workers > 1`` the environments run in parallel processes --
+    each environment is self-contained (own dataset, own stage cache), so
+    the result is identical to the serial sweep.
     """
-    materials = _materials(material_names)
-    labels = [m.name for m in materials]
-    max_packets = max(packet_counts)
-    out = {}
-    for env in environments:
-        dataset = collect_dataset(
-            materials,
-            scene=standard_scene(env),
-            repetitions=repetitions,
-            num_packets=max_packets,
-            seed=seed,
-        )
-        # Artifacts are keyed by trace *content*, so the full-length
-        # truncation (count == max_packets) hits the artifacts already
-        # computed for the untruncated dataset despite being new objects.
-        env_cache = StageCache()
-        series = []
-        for count in packet_counts:
-            truncated = {
-                name: [s.truncated(count) for s in group]
-                for name, group in dataset.items()
-            }
-            train, test = split_dataset(truncated)
-            result = fit_and_score(
-                train, test, labels, materials, cache=env_cache
-            )
-            series.append((count, result.accuracy))
-        out[env] = series
-    return out
+    material_names = tuple(material_names)
+    packet_counts = tuple(packet_counts)
+    tasks = [
+        (material_names, env, packet_counts, repetitions, seed)
+        for env in environments
+    ]
+    series_per_env = parallel_map(_packet_env_task, tasks, workers=workers)
+    return dict(zip(environments, series_per_env))
 
 
 # ----------------------------------------------------------------------

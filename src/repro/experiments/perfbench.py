@@ -1,0 +1,456 @@
+"""Performance-regression harness behind ``repro perf-bench``.
+
+Runs a fixed suite of benchmarks over the hot paths this codebase
+vectorised -- batched wavelet denoising, the CSI simulator, batched
+feature extraction, SMO training, the end-to-end identification sweep
+and the online serving layer -- and writes the timings to a JSON report
+(:data:`DEFAULT_OUTPUT`, committed at the repo root).
+
+Each benchmark times the *current* implementation against its in-tree
+scalar reference (``_reference_*``), so the report carries both absolute
+timings and the speedup the vectorised kernels deliver, and it verifies
+on every run that the two implementations still agree numerically.
+
+The committed report doubles as the regression baseline: a later run
+(e.g. the CI ``perf-smoke`` job) compares its own ``new_s`` timings
+against the committed ones and fails when any benchmark got more than
+``max_regression`` times slower.  Timings for the ``smoke`` and ``full``
+suites are stored separately so a smoke run is only ever compared
+against committed smoke numbers.
+
+Latency percentiles for the serving benchmark come from the same
+:class:`repro.serve.metrics.Histogram` instruments the service exports
+at runtime -- the benchmark reads the service snapshot rather than
+keeping its own sample buffers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.materials import default_catalog
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.csi.simulator import CsiSimulator
+from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser
+from repro.engine.cache import StageCache
+from repro.experiments.datasets import (
+    collect_dataset,
+    split_dataset,
+    standard_scene,
+)
+from repro.experiments.runner import mean_accuracy_over_seeds
+from repro.ml.svm import BinarySVC
+
+#: Report written by ``repro perf-bench`` and committed as the baseline.
+DEFAULT_OUTPUT = "BENCH_PR4.json"
+
+#: Default regression gate: fail when a benchmark's ``new_s`` exceeds
+#: this multiple of the committed baseline's.
+DEFAULT_MAX_REGRESSION = 2.0
+
+#: Per-suite workload sizes.  Smoke is sized for CI (seconds overall but
+#: still >= tens of milliseconds per benchmark, so a 2x gate is not
+#: dominated by timer noise); full is the committed reference workload.
+_SIZES = {
+    "smoke": {
+        "denoise_len": 128,
+        "sim_packets": 60,
+        "extract_repetitions": 4,
+        "extract_packets": 8,
+        "train_samples": 60,
+        "identify_seeds": (0,),
+        "identify_repetitions": 4,
+        "identify_packets": 6,
+        "serve_repeat": 2,
+        "repeats": 1,
+    },
+    "full": {
+        "denoise_len": 200,
+        "sim_packets": 300,
+        "extract_repetitions": 6,
+        "extract_packets": 10,
+        "train_samples": 140,
+        "identify_seeds": (0, 1),
+        "identify_repetitions": 6,
+        "identify_packets": 10,
+        "serve_repeat": 4,
+        "repeats": 3,
+    },
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@contextmanager
+def _scalar_reference_kernels():
+    """Swap the vectorised hot paths for their scalar references.
+
+    Used to emulate the pre-vectorisation pipeline for the end-to-end
+    benchmarks: the simulator falls back to its per-packet loop and the
+    denoiser to per-column 1-D processing.
+    """
+    orig_capture = CsiSimulator.capture
+    orig_denoise = SpatiallySelectiveDenoiser.denoise
+
+    def column_denoise(self, x):
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            return self._reference_denoise(x)
+        out = np.empty_like(x)
+        for k in range(x.shape[1]):
+            out[:, k] = self._reference_denoise(x[:, k])
+        return out
+
+    CsiSimulator.capture = CsiSimulator._reference_capture
+    SpatiallySelectiveDenoiser.denoise = column_denoise
+    try:
+        yield
+    finally:
+        CsiSimulator.capture = orig_capture
+        SpatiallySelectiveDenoiser.denoise = orig_denoise
+
+
+# ----------------------------------------------------------------------
+# Individual benchmarks
+# ----------------------------------------------------------------------
+
+
+def bench_denoise(sizes: dict) -> dict:
+    """Batched 2-D denoiser vs the scalar per-column reference.
+
+    Sized like a real trace: 90 channels (30 subcarriers x 3 antennas)
+    over the packet counts the paper's sessions actually have -- the
+    regime where per-column Python overhead dominates the scalar path.
+    """
+    rng = np.random.default_rng(0)
+    num_samples, num_channels = sizes["denoise_len"], 90
+    t = np.arange(num_samples)[:, None]
+    x = 1.0 + 0.05 * np.sin(2 * np.pi * t / 64.0 + np.arange(num_channels))
+    x += 0.01 * rng.standard_normal(x.shape)
+    spikes = rng.random(x.shape) < 0.02
+    x[spikes] += rng.standard_normal(int(spikes.sum())) * 5.0
+
+    denoiser = SpatiallySelectiveDenoiser()
+    batched = denoiser.denoise(x)
+    reference = np.column_stack(
+        [denoiser._reference_denoise(x[:, k]) for k in range(num_channels)]
+    )
+    new_s = _best_of(lambda: denoiser.denoise(x), sizes["repeats"])
+    baseline_s = _best_of(
+        lambda: [
+            denoiser._reference_denoise(x[:, k]) for k in range(num_channels)
+        ],
+        sizes["repeats"],
+    )
+    return {
+        "new_s": new_s,
+        "baseline_s": baseline_s,
+        "speedup": baseline_s / new_s,
+        "max_abs_diff": float(np.max(np.abs(batched - reference))),
+        "shape": [num_samples, num_channels],
+    }
+
+
+def bench_simulate(sizes: dict) -> dict:
+    """Vectorised simulator capture vs the per-packet reference loop."""
+    catalog = default_catalog()
+    water = catalog.get("pure_water")
+    scene = standard_scene("lab")
+    packets = sizes["sim_packets"]
+
+    def run_new():
+        return CsiSimulator(scene, rng=0).capture(water, packets)
+
+    def run_reference():
+        return CsiSimulator(scene, rng=0)._reference_capture(water, packets)
+
+    new_csi = run_new().matrix()
+    ref_csi = run_reference().matrix()
+    scale = float(np.max(np.abs(ref_csi)))
+    new_s = _best_of(run_new, sizes["repeats"])
+    baseline_s = _best_of(run_reference, sizes["repeats"])
+    return {
+        "new_s": new_s,
+        "baseline_s": baseline_s,
+        "speedup": baseline_s / new_s,
+        "max_rel_diff": float(np.max(np.abs(new_csi - ref_csi)) / scale),
+        "packets": packets,
+    }
+
+
+def _extract_workload(sizes: dict):
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in ("pure_water", "pepsi", "oil")]
+    dataset = collect_dataset(
+        materials,
+        scene=standard_scene("lab"),
+        repetitions=sizes["extract_repetitions"],
+        num_packets=sizes["extract_packets"],
+        seed=0,
+    )
+    train, test = split_dataset(dataset)
+    wimi = WiMi(theory_reference_omegas(materials))
+    wimi.fit(train)
+    return wimi, test
+
+
+def bench_extract_batch(sizes: dict) -> dict:
+    """Batched extraction vs per-session extraction on scalar kernels."""
+    wimi, test = _extract_workload(sizes)
+
+    def run_new():
+        return wimi.clone_view(cache=StageCache()).extract_batch(test)
+
+    def run_reference():
+        view = wimi.clone_view(cache=StageCache())
+        with _scalar_reference_kernels():
+            return [view.extract(s) for s in test]
+
+    new_features = run_new()
+    ref_features = run_reference()
+    max_diff = max(
+        abs(a.omega_mean - b.omega_mean)
+        for a, b in zip(new_features, ref_features)
+    )
+    new_s = _best_of(run_new, sizes["repeats"])
+    baseline_s = _best_of(run_reference, sizes["repeats"])
+    return {
+        "new_s": new_s,
+        "baseline_s": baseline_s,
+        "speedup": baseline_s / new_s,
+        "max_omega_diff": float(max_diff),
+        "sessions": len(test),
+    }
+
+
+def bench_train(sizes: dict) -> dict:
+    """SMO with Gram cache + vectorised errors vs the reference loop."""
+    rng = np.random.default_rng(0)
+    n = sizes["train_samples"]
+    half = n // 2
+    x = np.vstack(
+        [
+            rng.normal(0.0, 1.0, size=(half, 4)),
+            rng.normal(3.0, 1.0, size=(n - half, 4)),
+        ]
+    )
+    y = np.concatenate([-np.ones(half), np.ones(n - half)])
+
+    new_svc = BinarySVC().fit(x, y)
+    ref_svc = BinarySVC()._reference_fit(x, y)
+    agreement = float(np.mean(new_svc.predict(x) == ref_svc.predict(x)))
+    new_s = _best_of(lambda: BinarySVC().fit(x, y), sizes["repeats"])
+    baseline_s = _best_of(
+        lambda: BinarySVC()._reference_fit(x, y), sizes["repeats"]
+    )
+    return {
+        "new_s": new_s,
+        "baseline_s": baseline_s,
+        "speedup": baseline_s / new_s,
+        "train_agreement": agreement,
+        "samples": n,
+    }
+
+
+def bench_identify(sizes: dict) -> dict:
+    """End-to-end identification sweep, vectorised vs scalar kernels.
+
+    The new path is the shipped one (vectorised simulator + batched
+    denoiser + one shared stage cache across seeds); the baseline runs
+    the same sweep on the scalar reference kernels without cache
+    sharing, emulating the pre-vectorisation pipeline.
+    """
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in ("pure_water", "pepsi", "vinegar")]
+    seeds = list(sizes["identify_seeds"])
+    kwargs = dict(
+        repetitions=sizes["identify_repetitions"],
+        num_packets=sizes["identify_packets"],
+    )
+
+    def run_new():
+        return mean_accuracy_over_seeds(materials, seeds, **kwargs)
+
+    def run_reference():
+        with _scalar_reference_kernels():
+            return [
+                mean_accuracy_over_seeds(
+                    materials, [s], cache=StageCache(), **kwargs
+                )[0]
+                for s in seeds
+            ]
+
+    new_mean, new_accs = run_new()
+    run_reference()
+    new_s = _best_of(run_new, sizes["repeats"])
+    baseline_s = _best_of(run_reference, sizes["repeats"])
+    return {
+        "new_s": new_s,
+        "baseline_s": baseline_s,
+        "speedup": baseline_s / new_s,
+        "mean_accuracy": new_mean,
+        "seeds": len(seeds),
+    }
+
+
+def bench_serve(sizes: dict) -> dict:
+    """Online service throughput vs sequential cold-cache requests.
+
+    Latency percentiles are read from the service's own
+    :class:`~repro.serve.metrics.Histogram` snapshot.
+    """
+    from repro.serve import IdentificationService, ServiceConfig
+
+    wimi, test = _extract_workload(sizes)
+    workload = [s for _ in range(sizes["serve_repeat"]) for s in test]
+
+    t0 = time.perf_counter()
+    sequential = [
+        wimi.clone_view(cache=StageCache()).identify(s) for s in workload
+    ]
+    baseline_s = time.perf_counter() - t0
+
+    service = IdentificationService(
+        wimi, ServiceConfig(num_workers=2, max_batch_size=8)
+    )
+    t0 = time.perf_counter()
+    with service:
+        handles = [service.submit(s) for s in workload]
+        served = [h.result(timeout=60.0) for h in handles]
+    new_s = time.perf_counter() - t0
+
+    latency = service.snapshot()["histograms"]["latency_ms"]
+    return {
+        "new_s": new_s,
+        "baseline_s": baseline_s,
+        "speedup": baseline_s / new_s,
+        "throughput_rps": len(workload) / new_s,
+        "latency_ms": {
+            k: latency[k] for k in ("p50", "p95", "p99", "max")
+        },
+        "predictions_identical": served == sequential,
+        "requests": len(workload),
+    }
+
+
+_BENCHMARKS = (
+    ("denoise", bench_denoise),
+    ("simulate", bench_simulate),
+    ("extract_batch", bench_extract_batch),
+    ("train", bench_train),
+    ("identify", bench_identify),
+    ("serve", bench_serve),
+)
+
+
+# ----------------------------------------------------------------------
+# Suite driver, report I/O and baseline comparison
+# ----------------------------------------------------------------------
+
+
+def run_suite(mode: str = "full", progress=None) -> dict:
+    """Run every benchmark at ``mode`` ("smoke" or "full") sizes."""
+    if mode not in _SIZES:
+        raise ValueError(f"mode must be one of {sorted(_SIZES)}, got {mode!r}")
+    sizes = _SIZES[mode]
+    results = {}
+    for name, bench in _BENCHMARKS:
+        if progress is not None:
+            progress(name)
+        results[name] = bench(sizes)
+    return results
+
+
+def load_report(path: str | Path) -> dict | None:
+    """The committed report at ``path``, or None when absent/unreadable."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return report if isinstance(report.get("suites"), dict) else None
+
+
+def write_report(path: str | Path, mode: str, results: dict) -> dict:
+    """Write/merge the report at ``path`` and return it.
+
+    Suites are stored side by side so a smoke-only run does not clobber
+    the committed full-suite timings.
+    """
+    report = load_report(path) or {"schema": 1, "suites": {}}
+    report["suites"][mode] = results
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def compare_to_baseline(
+    results: dict,
+    baseline: dict | None,
+    mode: str,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[tuple[str, float]]:
+    """Benchmarks whose ``new_s`` regressed beyond ``max_regression``.
+
+    Returns ``(name, ratio)`` pairs; empty when there is no committed
+    baseline for ``mode`` (first run) or nothing regressed.
+    """
+    if baseline is None or max_regression <= 0:
+        return []
+    committed = baseline.get("suites", {}).get(mode, {})
+    regressions = []
+    for name, current in results.items():
+        reference = committed.get(name)
+        if not reference or reference.get("new_s", 0) <= 0:
+            continue
+        ratio = current["new_s"] / reference["new_s"]
+        if ratio > max_regression:
+            regressions.append((name, ratio))
+    return regressions
+
+
+def render_report(
+    mode: str, results: dict, regressions: list[tuple[str, float]]
+) -> str:
+    """Human-readable summary of one suite run."""
+    lines = [
+        f"perf-bench -- {mode} suite",
+        f"  {'benchmark':<14} {'new':>9} {'baseline':>9} {'speedup':>8}",
+    ]
+    for name, data in results.items():
+        lines.append(
+            f"  {name:<14} {data['new_s']:>8.3f}s {data['baseline_s']:>8.3f}s "
+            f"{data['speedup']:>7.2f}x"
+        )
+    serve = results.get("serve")
+    if serve:
+        latency = serve["latency_ms"]
+        lines.append(
+            f"  serve: {serve['throughput_rps']:.1f} req/s, latency ms "
+            f"p50 {latency['p50']:.2f} p95 {latency['p95']:.2f} "
+            f"p99 {latency['p99']:.2f}"
+        )
+    if regressions:
+        for name, ratio in regressions:
+            lines.append(
+                f"  REGRESSION: {name} is {ratio:.2f}x slower than the "
+                "committed baseline"
+            )
+    else:
+        lines.append("  no regressions vs committed baseline")
+    return "\n".join(lines)

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -49,6 +52,7 @@ def run_identification(
     seed: int = 0,
     profile: HardwareProfile | None = None,
     reference_materials: list[Material] | None = None,
+    cache: StageCache | None = None,
 ) -> ExperimentResult:
     """One full WiMi experiment: collect, train, identify, score.
 
@@ -63,6 +67,11 @@ def run_identification(
         profile: Hardware impairment profile.
         reference_materials: Materials whose theory features seed the
             gamma-resolution dictionary; defaults to ``materials``.
+        cache: Optional shared :class:`repro.engine.StageCache`.  Stage
+            keys embed the trace content, so sharing one cache across the
+            experiments of a sweep is always safe: artifacts common to
+            several runs (e.g. the baseline captures a seed sweep re-uses)
+            are computed once instead of per run.
     """
     if len(materials) < 2:
         raise ValueError("need at least two materials to identify")
@@ -79,7 +88,7 @@ def run_identification(
     )
     train, test = split_dataset(dataset, train_fraction)
 
-    wimi = WiMi(refs, config)
+    wimi = WiMi(refs, config, cache=cache)
     wimi.fit(train)
 
     y_true = np.array([s.material_name for s in test])
@@ -137,16 +146,71 @@ def fit_and_score(
     )
 
 
+def parallel_map(
+    fn: Callable, items: Iterable, workers: int = 1
+) -> list:
+    """Order-preserving map over ``items``, optionally across processes.
+
+    With ``workers <= 1`` this is a plain serial comprehension (no pool,
+    no pickling requirements).  With more workers, items are dispatched to
+    a ``spawn``-context :class:`~concurrent.futures.ProcessPoolExecutor`
+    -- ``fn`` and every item must then be picklable, which in this module
+    means module-level functions over dataclass payloads.  ``spawn`` is
+    used even where ``fork`` is available: it is the only start method
+    that is safe on every platform and that cannot inherit a copied BLAS
+    or RNG state mid-operation.
+
+    Results come back in input order regardless of completion order, so a
+    parallel sweep is bit-identical to its serial counterpart whenever
+    ``fn`` itself is deterministic.
+    """
+    items = list(items)
+    workers = max(1, int(workers))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(items)), mp_context=ctx
+    ) as pool:
+        return list(pool.map(fn, items))
+
+
+def _seed_accuracy_task(args: tuple) -> float:
+    """Picklable worker for :func:`mean_accuracy_over_seeds`."""
+    materials, seed, kwargs = args
+    return run_identification(materials, seed=seed, **kwargs).accuracy
+
+
 def mean_accuracy_over_seeds(
     materials: list[Material],
-    seeds: list[int] | tuple[int, ...],
+    seeds: Sequence[int],
+    workers: int = 1,
     **kwargs,
 ) -> tuple[float, list[float]]:
-    """Average :func:`run_identification` accuracy over deployments."""
+    """Average :func:`run_identification` accuracy over deployments.
+
+    With ``workers > 1`` the seeds run in parallel processes; results are
+    identical to the serial path (each seed is fully self-contained and
+    deterministic).  The serial path shares one :class:`StageCache`
+    across seeds so any artifact common to several deployments -- the
+    free-space baselines a sweep re-derives, identical traces after
+    truncation -- is computed once.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    accs = [
-        run_identification(materials, seed=s, **kwargs).accuracy
-        for s in seeds
-    ]
+    cache = kwargs.pop("cache", None)
+    if workers > 1:
+        # A cross-process cache cannot be shared; each worker builds its
+        # own per-run cache inside run_identification.
+        tasks = [(materials, int(s), kwargs) for s in seeds]
+        accs = parallel_map(_seed_accuracy_task, tasks, workers=workers)
+    else:
+        if cache is None:
+            cache = StageCache()
+        accs = [
+            run_identification(
+                materials, seed=s, cache=cache, **kwargs
+            ).accuracy
+            for s in seeds
+        ]
     return float(np.mean(accs)), accs

@@ -16,6 +16,28 @@ def _as_2d(x: np.ndarray) -> np.ndarray:
     return x
 
 
+def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances ``||a_i - b_j||^2``, shape ``(n_a, n_b)``.
+
+    The shared building block of the RBF Gram matrix: the one-vs-one
+    ensemble computes this once on the full training set and slices the
+    per-machine submatrices out of it instead of re-evaluating kernels
+    pair by pair.
+    """
+    a = _as_2d(a)
+    b = _as_2d(b)
+    return (
+        np.sum(a * a, axis=1)[:, None]
+        + np.sum(b * b, axis=1)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+
+
+def rbf_from_sq_dists(sq: np.ndarray, gamma: float) -> np.ndarray:
+    """RBF kernel values from precomputed squared distances."""
+    return np.exp(-gamma * np.clip(sq, 0.0, None))
+
+
 @dataclass(frozen=True)
 class LinearKernel:
     """``K(x, y) = x . y``."""
@@ -55,15 +77,8 @@ class RBFKernel:
     def __call__(
         self, a: np.ndarray, b: np.ndarray, gamma: float | None = None
     ) -> np.ndarray:
-        a = _as_2d(a)
-        b = _as_2d(b)
         g = gamma if gamma is not None else (self.gamma if self.gamma else 1.0)
-        sq = (
-            np.sum(a * a, axis=1)[:, None]
-            + np.sum(b * b, axis=1)[None, :]
-            - 2.0 * (a @ b.T)
-        )
-        return np.exp(-g * np.clip(sq, 0.0, None))
+        return rbf_from_sq_dists(pairwise_sq_dists(a, b), g)
 
 
 @dataclass(frozen=True)

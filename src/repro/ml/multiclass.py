@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.kernels import make_kernel
+from repro.ml.kernels import (
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    make_kernel,
+    pairwise_sq_dists,
+    rbf_from_sq_dists,
+)
 from repro.ml.svm import BinarySVC
 
 
@@ -18,6 +25,46 @@ def _validate_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if x.shape[0] == 0:
         raise ValueError("cannot fit on an empty dataset")
     return x, y
+
+
+class _SharedGram:
+    """Pairwise kernel structure computed once per training set.
+
+    The one-vs-one ensemble trains ``C(n_classes, 2)`` machines on
+    overlapping subsets of the same samples; each machine's Gram matrix is
+    a submatrix of one full-set pairwise computation.  For RBF the shared
+    part is the squared-distance matrix (gamma is resolved per machine on
+    its subset); for linear/polynomial kernels it is the dot-product
+    matrix.
+    """
+
+    def __init__(self, kernel, x: np.ndarray):
+        self.kernel = kernel
+        if isinstance(kernel, RBFKernel):
+            self._shared = pairwise_sq_dists(x, x)
+        elif isinstance(kernel, (LinearKernel, PolynomialKernel)):
+            self._shared = x @ x.T
+        else:
+            self._shared = None
+
+    def submatrix(
+        self, machine: BinarySVC, x_sub: np.ndarray, idx: np.ndarray
+    ) -> np.ndarray | None:
+        """Gram matrix for one machine's sample subset, or None.
+
+        Must match what ``machine.fit`` would compute on ``x_sub`` --
+        for RBF that means resolving gamma on the subset, exactly as
+        :meth:`BinarySVC._prepare_fit` does.
+        """
+        if self._shared is None:
+            return None
+        block = self._shared[np.ix_(idx, idx)]
+        kernel = machine.kernel
+        if isinstance(kernel, RBFKernel):
+            return rbf_from_sq_dists(block, kernel.resolve_gamma(x_sub))
+        if isinstance(kernel, PolynomialKernel):
+            return (block + kernel.coef0) ** kernel.degree
+        return block
 
 
 class OneVsOneSVC:
@@ -43,16 +90,23 @@ class OneVsOneSVC:
         if self._classes.size < 2:
             raise ValueError("need at least two classes")
         self._machines = {}
+        shared = _SharedGram(
+            make_kernel(self.kernel_name, **self.kernel_params), x
+        )
         for a in range(self._classes.size):
             for b in range(a + 1, self._classes.size):
                 mask = (y == self._classes[a]) | (y == self._classes[b])
+                idx = np.nonzero(mask)[0]
                 labels = np.where(y[mask] == self._classes[a], 1.0, -1.0)
                 machine = BinarySVC(
                     kernel=make_kernel(self.kernel_name, **self.kernel_params),
                     C=self.C,
                     seed=self.seed,
                 )
-                machine.fit(x[mask], labels)
+                x_sub = x[mask]
+                machine.fit(
+                    x_sub, labels, gram=shared.submatrix(machine, x_sub, idx)
+                )
                 self._machines[(a, b)] = machine
         return self
 
@@ -100,6 +154,13 @@ class OneVsRestSVC:
         if self._classes.size < 2:
             raise ValueError("need at least two classes")
         self._machines = []
+        # Every one-vs-rest machine trains on the full set, so they all
+        # share one Gram matrix (gamma resolves identically on full x).
+        shared = _SharedGram(
+            make_kernel(self.kernel_name, **self.kernel_params), x
+        )
+        idx = np.arange(x.shape[0])
+        gram = None
         for cls in self._classes:
             labels = np.where(y == cls, 1.0, -1.0)
             machine = BinarySVC(
@@ -107,7 +168,9 @@ class OneVsRestSVC:
                 C=self.C,
                 seed=self.seed,
             )
-            machine.fit(x, labels)
+            if gram is None:
+                gram = shared.submatrix(machine, x, idx)
+            machine.fit(x, labels, gram=gram)
             self._machines.append(machine)
         return self
 

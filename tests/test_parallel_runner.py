@@ -1,0 +1,68 @@
+"""Process-parallel sweeps return exactly what the serial path returns."""
+
+import numpy as np
+import pytest
+
+from repro.channel.materials import default_catalog
+from repro.experiments import figures
+from repro.experiments.runner import (
+    mean_accuracy_over_seeds,
+    parallel_map,
+)
+
+_CATALOG = default_catalog()
+
+
+def _materials(names=("pure_water", "pepsi", "vinegar")):
+    return [_CATALOG.get(n) for n in names]
+
+
+class TestParallelMap:
+    def test_serial_fallback_needs_no_pickling(self):
+        # Closures are not picklable; workers=1 must not touch a pool.
+        offset = 10
+        out = parallel_map(lambda v: v + offset, [1, 2, 3], workers=1)
+        assert out == [11, 12, 13]
+
+    def test_single_item_stays_serial(self):
+        out = parallel_map(lambda v: v * 2, [21], workers=8)
+        assert out == [42]
+
+    def test_parallel_preserves_input_order(self):
+        items = ["delta", "alpha", "charlie", "bravo", "echo"]
+        assert parallel_map(str.upper, items, workers=2) == [
+            s.upper() for s in items
+        ]
+
+    def test_empty_items(self):
+        assert parallel_map(str.upper, [], workers=4) == []
+
+
+class TestParallelSweeps:
+    def test_seed_sweep_parallel_equals_serial(self):
+        materials = _materials()
+        kwargs = dict(repetitions=3, num_packets=5)
+        serial_mean, serial_accs = mean_accuracy_over_seeds(
+            materials, seeds=[0, 1], **kwargs
+        )
+        parallel_mean, parallel_accs = mean_accuracy_over_seeds(
+            materials, seeds=[0, 1], workers=2, **kwargs
+        )
+        assert parallel_accs == serial_accs
+        assert parallel_mean == serial_mean
+
+    def test_seed_sweep_rejects_empty_seeds(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            mean_accuracy_over_seeds(_materials(), seeds=[])
+
+    def test_distance_sweep_parallel_equals_serial(self):
+        kwargs = dict(
+            distances_m=(1.0, 2.0),
+            environments=("lab",),
+            repetitions=2,
+            material_names=("pure_water", "pepsi", "vinegar"),
+        )
+        serial = figures.distance_sweep(workers=1, **kwargs)
+        parallel = figures.distance_sweep(workers=2, **kwargs)
+        assert parallel == serial
+        assert [d for d, _ in parallel["lab"]] == [1.0, 2.0]

@@ -1,0 +1,86 @@
+"""Report I/O and regression-gate logic of the perf-bench harness.
+
+The benchmarks themselves run in CI via ``repro perf-bench --smoke``;
+these tests cover the pure plumbing so the gate's semantics are pinned
+without paying for a benchmark run.
+"""
+
+import json
+
+from repro.experiments.perfbench import (
+    compare_to_baseline,
+    load_report,
+    run_suite,
+    render_report,
+    write_report,
+)
+
+import pytest
+
+
+def _result(new_s):
+    return {"new_s": new_s, "baseline_s": new_s * 3, "speedup": 3.0}
+
+
+class TestReportIO:
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_report(tmp_path / "nope.json") is None
+
+    def test_load_garbage_returns_none(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        assert load_report(path) is None
+        path.write_text(json.dumps({"something": "else"}))
+        assert load_report(path) is None
+
+    def test_write_merges_suites(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(path, "full", {"denoise": _result(0.1)})
+        report = write_report(path, "smoke", {"denoise": _result(0.02)})
+        assert set(report["suites"]) == {"full", "smoke"}
+        on_disk = load_report(path)
+        assert on_disk["suites"]["full"]["denoise"]["new_s"] == 0.1
+        assert on_disk["suites"]["smoke"]["denoise"]["new_s"] == 0.02
+
+
+class TestRegressionGate:
+    BASELINE = {"suites": {"smoke": {"denoise": _result(0.1)}}}
+
+    def test_no_baseline_passes(self):
+        assert compare_to_baseline({"denoise": _result(9.9)}, None, "smoke") == []
+
+    def test_within_budget_passes(self):
+        current = {"denoise": _result(0.19)}
+        assert compare_to_baseline(current, self.BASELINE, "smoke") == []
+
+    def test_regression_flagged_with_ratio(self):
+        current = {"denoise": _result(0.5)}
+        flagged = compare_to_baseline(current, self.BASELINE, "smoke")
+        assert [name for name, _ in flagged] == ["denoise"]
+        assert flagged[0][1] == pytest.approx(5.0)
+
+    def test_other_suite_not_compared(self):
+        current = {"denoise": _result(0.5)}
+        assert compare_to_baseline(current, self.BASELINE, "full") == []
+
+    def test_new_benchmark_not_compared(self):
+        current = {"brand_new": _result(0.5)}
+        assert compare_to_baseline(current, self.BASELINE, "smoke") == []
+
+    def test_gate_disabled(self):
+        current = {"denoise": _result(0.5)}
+        assert (
+            compare_to_baseline(current, self.BASELINE, "smoke", 0.0) == []
+        )
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="mode must be one of"):
+        run_suite("warp-speed")
+
+
+def test_render_report_mentions_regressions():
+    text = render_report("smoke", {"denoise": _result(0.5)}, [("denoise", 5.0)])
+    assert "REGRESSION" in text
+    clean = render_report("smoke", {"denoise": _result(0.5)}, [])
+    assert "no regressions" in clean

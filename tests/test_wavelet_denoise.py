@@ -35,8 +35,19 @@ class TestOutlierRemoval:
             remove_outliers(np.array([]))
         with pytest.raises(ValueError, match="num_sigmas"):
             remove_outliers(np.ones(5), num_sigmas=0.0)
-        with pytest.raises(ValueError, match="1-D"):
-            remove_outliers(np.ones((2, 2)))
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            remove_outliers(np.ones((2, 2, 2)))
+
+    def test_2d_matches_per_column(self):
+        rng = np.random.default_rng(7)
+        x = 1.0 + 0.01 * rng.standard_normal((40, 3))
+        x[5, 0] = 40.0
+        x[20, 2] = -40.0
+        cleaned, mask = remove_outliers(x)
+        for c in range(x.shape[1]):
+            ref_clean, ref_mask = remove_outliers(x[:, c])
+            np.testing.assert_array_equal(mask[:, c], ref_mask)
+            np.testing.assert_array_equal(cleaned[:, c], ref_clean)
 
 
 class TestDenoiser:
