@@ -9,6 +9,7 @@ Usage::
     python -m repro bench-cache          # stage-cache hit rates
     python -m repro serve-bench          # online-service load benchmark
     python -m repro perf-bench --smoke   # perf-regression suite (CI size)
+    python -m repro robustness-bench     # accuracy-under-fault sweeps
     python -m repro --version
 
 Every figure command prints the same rows/series the paper's figure
@@ -345,6 +346,26 @@ def _perf_bench(args) -> str:
     return report
 
 
+def _robustness_bench(args) -> str:
+    """``repro robustness-bench``: accuracy-under-fault sweeps.
+
+    Runs the packet-loss and antenna-dropout sweeps (clean training,
+    fault-injected test captures) and writes the JSON artifact
+    (``--robustness-output``) committed alongside ``BENCH_PR4.json``.
+    """
+    from repro.experiments import robustness
+
+    results = robustness.run_suite(
+        workers=args.workers,
+        seed=args.seed,
+        progress=lambda name: print(f"  sweeping {name}...", flush=True),
+    )
+    robustness.write_report(args.robustness_output, results)
+    report = robustness.render_report(results)
+    report += f"\n  report written to {args.robustness_output}"
+    return report
+
+
 class Command(NamedTuple):
     """One registered subcommand."""
 
@@ -382,6 +403,10 @@ COMMANDS: dict[str, Command] = {
     ),
     "perf-bench": Command(
         _perf_bench, "vectorised-kernel performance regression suite",
+        in_all=False,
+    ),
+    "robustness-bench": Command(
+        _robustness_bench, "accuracy-under-fault sweeps (loss, dead antenna)",
         in_all=False,
     ),
 }
@@ -446,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-regression", type=float, default=2.0,
         help="fail when new_s exceeds this multiple of the baseline's "
         "(default 2.0; <= 0 disables the gate)",
+    )
+    robust = parser.add_argument_group("robustness-bench options")
+    robust.add_argument(
+        "--robustness-output", default="ROBUSTNESS_PR5.json",
+        help="JSON sweep artifact to write (default ROBUSTNESS_PR5.json)",
     )
     return parser
 

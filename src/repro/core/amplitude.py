@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.validation import validate_antenna, validate_antenna_pair
 from repro.csi.model import CsiTrace
+from repro.dsp.stats import finite_mean, finite_median
 from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser, remove_outliers
 
 #: Amplitudes below this are clamped before ratios/logs (quantisation can
@@ -82,11 +83,28 @@ class AmplitudeProcessor:
         # One batched denoiser pass over all (subcarrier, antenna)
         # columns at once: (M, K, A) -> (M, K*A) -> denoise -> back.
         columns = amps.reshape(num_packets, num_sc * num_ant)
+        # The wavelet convolution would smear a single NaN over the whole
+        # series; impute degraded samples with the series' finite median
+        # first.  A fully dead series has no median to impute from -- it
+        # is denoised as zeros and restored to NaN afterwards, so the
+        # quality-driven channel exclusion (not silent garbage) decides
+        # its fate.
+        finite = np.isfinite(columns)
+        dead_columns = None
+        if not finite.all():
+            medians = finite_median(columns, axis=0)
+            fill = np.where(np.isfinite(medians), medians, 0.0)
+            columns = np.where(finite, columns, fill[None, :])
+            dead = ~finite.any(axis=0)
+            if dead.any():
+                dead_columns = dead
         if num_packets < 4:
             # Too short for the wavelet stage; outliers only.
             cleaned, _ = remove_outliers(columns, self.denoiser.outlier_sigmas)
         else:
             cleaned = self.denoiser.denoise(columns)
+        if dead_columns is not None:
+            cleaned = np.where(dead_columns[None, :], np.nan, cleaned)
         cleaned = cleaned.reshape(num_packets, num_sc, num_ant)
         return np.clip(cleaned, _AMPLITUDE_EPS, None)
 
@@ -104,10 +122,13 @@ class AmplitudeProcessor:
         """Packet-averaged ratio per subcarrier, shape ``(K,)``.
 
         Averaged in the log domain, the natural scale of a ratio (the
-        feature consumes ``ln`` of it anyway).
+        feature consumes ``ln`` of it anyway).  Packets that are NaN on a
+        subcarrier are excluded from that subcarrier's mean; a subcarrier
+        with no finite packet at all averages to NaN for the downstream
+        guards to reject by name.
         """
         ratio = self.amplitude_ratio(trace, pair)
-        return np.exp(np.mean(np.log(ratio), axis=0))
+        return np.exp(finite_mean(np.log(ratio), axis=0))
 
     @staticmethod
     def averaged_ratio_from_clean(
@@ -121,7 +142,7 @@ class AmplitudeProcessor:
         """
         i, j = validate_antenna_pair(pair, cleaned.shape[2])
         ratio = cleaned[:, :, i] / cleaned[:, :, j]
-        return np.exp(np.mean(np.log(ratio), axis=0))
+        return np.exp(finite_mean(np.log(ratio), axis=0))
 
     # ------------------------------------------------------------------
     # Diagnostics for the Fig. 8 microbenchmark
@@ -146,12 +167,18 @@ class AmplitudeProcessor:
     def ratio_variance_per_subcarrier(
         self, trace: CsiTrace, pair: tuple[int, int]
     ) -> np.ndarray:
-        """Normalised variance of the raw amplitude ratio, shape ``(K,)``."""
+        """Normalised variance of the raw amplitude ratio, shape ``(K,)``.
+
+        NaN-aware: degraded packets are excluded per subcarrier, and a
+        subcarrier with no finite ratio scores NaN (filtered out by the
+        antenna-pair selector instead of poisoning its stability score).
+        """
         i, j = self._check_pair(trace, pair)
         amps = np.clip(trace.amplitudes(), _AMPLITUDE_EPS, None)
         ratio = amps[:, :, i] / amps[:, :, j]
-        means = np.clip(ratio.mean(axis=0), _AMPLITUDE_EPS, None)
-        return ratio.var(axis=0) / (means ** 2)
+        means = np.clip(finite_mean(ratio, axis=0), _AMPLITUDE_EPS, None)
+        variance = finite_mean((ratio - means[None, :]) ** 2, axis=0)
+        return variance / (means ** 2)
 
     # ------------------------------------------------------------------
 

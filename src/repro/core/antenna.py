@@ -8,7 +8,9 @@ the pairs by a combined stability score and uses the best.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -18,6 +20,8 @@ from repro.core.subcarrier import SubcarrierSelector
 from repro.core.validation import validate_antenna_pair
 from repro.csi.collector import CaptureSession
 from repro.csi.model import CsiTrace
+from repro.csi.quality import CorruptTraceError
+from repro.dsp.stats import finite_mean
 
 
 @dataclass(frozen=True)
@@ -36,6 +40,11 @@ class PairStability:
         """Combined stability score (sum of the normalised variances)."""
         return self.phase_variance + self.ratio_variance
 
+    @property
+    def usable(self) -> bool:
+        """Whether the score is meaningful (a dead chain scores NaN)."""
+        return math.isfinite(self.score)
+
 
 class AntennaPairSelector:
     """Ranks antenna pairs by phase/amplitude stability."""
@@ -52,32 +61,58 @@ class AntennaPairSelector:
             amplitude if amplitude is not None else AmplitudeProcessor(denoise=False)
         )
 
-    def all_pairs(self, trace: CsiTrace) -> list[tuple[int, int]]:
-        """All unordered antenna pairs of a trace."""
+    def all_pairs(
+        self,
+        trace: CsiTrace,
+        exclude_antennas: Sequence[int] | None = None,
+    ) -> list[tuple[int, int]]:
+        """All unordered antenna pairs of a trace.
+
+        ``exclude_antennas`` drops pairs touching quality-disqualified
+        chains; raises :class:`~repro.csi.quality.CorruptTraceError`
+        when no pair of live antennas remains.
+        """
         n = trace.num_antennas
         if n < 2:
             raise ValueError(f"need >= 2 antennas, got {n}")
-        return [(i, j) for i in range(n) for j in range(i + 1, n)]
+        banned = set(exclude_antennas or ())
+        pairs = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if i not in banned and j not in banned
+        ]
+        if not pairs:
+            raise CorruptTraceError(
+                f"no usable antenna pairs: {sorted(banned)} of {n} "
+                f"antennas disqualified by quality gating"
+            )
+        return pairs
 
     def stability(
         self, session: CaptureSession, pair: tuple[int, int]
     ) -> PairStability:
-        """Fig. 10 stability metrics of one pair, pooled over the session."""
+        """Fig. 10 stability metrics of one pair, pooled over the session.
+
+        NaN-aware: subcarriers whose score is NaN (dead channels) are
+        excluded from the pooled means; a pair with no finite subcarrier
+        at all scores NaN and is reported unusable.
+        """
         validate_antenna_pair(pair, session.num_antennas)
         phase_var = float(
-            np.mean(
+            finite_mean(
                 self.selector.combined_variances(
                     session.baseline, session.target, pair
                 )
             )
         )
         ratio_var = float(
-            np.mean(
+            finite_mean(
                 self.amplitude.ratio_variance_per_subcarrier(
                     session.baseline, pair
                 )
             )
-            + np.mean(
+            + finite_mean(
                 self.amplitude.ratio_variance_per_subcarrier(
                     session.target, pair
                 )
@@ -87,14 +122,35 @@ class AntennaPairSelector:
             pair=pair, phase_variance=phase_var, ratio_variance=ratio_var
         )
 
-    def rank(self, session: CaptureSession) -> list[PairStability]:
-        """All pairs, most stable first."""
+    def rank(
+        self,
+        session: CaptureSession,
+        exclude_antennas: Sequence[int] | None = None,
+    ) -> list[PairStability]:
+        """Usable pairs, most stable first.
+
+        Pairs touching ``exclude_antennas`` and pairs whose stability
+        score is non-finite are omitted; raises
+        :class:`~repro.csi.quality.CorruptTraceError` when nothing
+        usable remains.
+        """
         stats = [
             self.stability(session, pair)
-            for pair in self.all_pairs(session.baseline)
+            for pair in self.all_pairs(session.baseline, exclude_antennas)
         ]
-        return sorted(stats, key=lambda s: s.score)
+        usable = [s for s in stats if s.usable]
+        if not usable:
+            raise CorruptTraceError(
+                f"no antenna pair with a finite stability score among "
+                f"{[s.pair for s in stats]} (all candidate chains dead "
+                f"or saturated)"
+            )
+        return sorted(usable, key=lambda s: s.score)
 
-    def best_pair(self, session: CaptureSession) -> tuple[int, int]:
-        """The most stable antenna pair for this session."""
-        return self.rank(session)[0].pair
+    def best_pair(
+        self,
+        session: CaptureSession,
+        exclude_antennas: Sequence[int] | None = None,
+    ) -> tuple[int, int]:
+        """The most stable usable antenna pair for this session."""
+        return self.rank(session, exclude_antennas)[0].pair

@@ -28,7 +28,13 @@ from repro.core.feature import (
 )
 from repro.core.validation import validate_antenna
 from repro.csi.collector import CaptureSession
-from repro.dsp.stats import circular_mean, circular_mean_axis, wrap_phase
+from repro.csi.quality import CorruptTraceError
+from repro.dsp.stats import (
+    circular_mean,
+    circular_mean_axis,
+    finite_mean,
+    wrap_phase,
+)
 
 
 class AbsoluteFeatureExtractor:
@@ -79,23 +85,40 @@ class AbsoluteFeatureExtractor:
 
         # Absolute phase change per subcarrier (paper Eq. 2, negated to
         # the paper's sign convention like the differential extractor).
+        # NaN-aware means: degraded packets are excluded per subcarrier.
         base = session.baseline.matrix()[:, :, self.antenna]
         target = session.target.matrix()[:, :, self.antenna]
-        base_phase = circular_mean_axis(np.angle(base), axis=0)
-        tar_phase = circular_mean_axis(np.angle(target), axis=0)
+        base_phase = circular_mean_axis(np.angle(base), axis=0, ignore_nan=True)
+        tar_phase = circular_mean_axis(np.angle(target), axis=0, ignore_nan=True)
         theta_all = -np.asarray(wrap_phase(tar_phase - base_phase))
 
         # Absolute amplitude change per subcarrier (paper Eq. 4).
         base_amp = self.amplitude.clean_amplitudes(session.baseline)
         tar_amp = self.amplitude.clean_amplitudes(session.target)
         ratio = np.exp(
-            np.mean(np.log(tar_amp[:, :, self.antenna]), axis=0)
-            - np.mean(np.log(base_amp[:, :, self.antenna]), axis=0)
+            finite_mean(np.log(tar_amp[:, :, self.antenna]), axis=0)
+            - finite_mean(np.log(base_amp[:, :, self.antenna]), axis=0)
         )
         neg_log = -np.log(np.clip(ratio, 1e-12, None))
 
         theta_sel = theta_all[subcarriers]
         n_sel = neg_log[subcarriers]
+
+        # Boundary guard: fail loudly, naming the dead channel, instead of
+        # feeding NaN into gamma resolution.
+        bad = sorted(
+            {
+                int(k)
+                for k, t, n in zip(subcarriers, theta_sel, n_sel)
+                if not (math.isfinite(t) and math.isfinite(n))
+            }
+        )
+        if bad:
+            raise CorruptTraceError(
+                f"non-finite observables at subcarrier(s) {bad} on "
+                f"antenna {self.antenna}; the channel is dead or "
+                f"saturated there"
+            )
         theta_agg = circular_mean(theta_sel)
         n_agg = float(np.mean(n_sel))
         # Absolute phase changes span tens of wraps (D, not D1-D2, scales

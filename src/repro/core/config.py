@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.csi.quality import QualityThresholds, validate_policy
+
 
 @dataclass(frozen=True)
 class WiMiConfig:
@@ -46,6 +48,13 @@ class WiMiConfig:
             the feature vector (it is branch-independent and anchors the
             identify-time branch search).  Disable to study a single
             pair/subcarrier in isolation (Fig. 13).
+        degradation_policy: How the pipeline treats degraded captures:
+            ``"degrade"`` (default -- hard failures raise
+            ``CorruptTraceError``, soft issues warn and trigger
+            fallbacks), ``"raise"`` (any quality issue is an error) or
+            ``"skip"`` (no gating; the pre-hardening behaviour).
+        quality_thresholds: Gating thresholds of the quality boundary
+            (see :class:`repro.csi.quality.QualityThresholds`).
     """
 
     num_good_subcarriers: int = 4
@@ -63,8 +72,13 @@ class WiMiConfig:
     gamma_strategy: str = "dictionary"
     use_coarse_pair: bool = True
     include_coarse_feature: bool = True
+    degradation_policy: str = "degrade"
+    quality_thresholds: QualityThresholds = field(
+        default_factory=QualityThresholds
+    )
 
     def __post_init__(self) -> None:
+        validate_policy(self.degradation_policy)
         if self.num_good_subcarriers < 1:
             raise ValueError(
                 f"num_good_subcarriers must be >= 1, got "

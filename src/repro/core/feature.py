@@ -52,7 +52,8 @@ from repro.channel.propagation import material_feature_theory
 from repro.core.amplitude import AmplitudeProcessor
 from repro.core.phase import PhaseCalibrator
 from repro.csi.collector import CaptureSession
-from repro.dsp.stats import circular_mean, wrap_phase
+from repro.csi.quality import CorruptTraceError, SessionQualityReport
+from repro.dsp.stats import circular_mean, finite_median, wrap_phase
 
 #: Unwrapped phase magnitudes below this are too small to divide by.
 _MIN_DENOMINATOR_RAD = 1e-3
@@ -306,6 +307,9 @@ class SessionFeatures:
 
     measurements: list[FeatureMeasurement]
     material_name: str = ""
+    #: Quality report of the source session when the extraction ran under
+    #: quality gating (None for ungated extraction).
+    quality: SessionQualityReport | None = None
 
     def __post_init__(self) -> None:
         if not self.measurements:
@@ -420,6 +424,7 @@ class MaterialFeatureExtractor:
         coarse_pair: tuple[int, int] | None = None,
         true_omega: float | None = None,
         include_coarse_feature: bool = True,
+        coarse_fallback: bool = False,
     ) -> FeatureMeasurement:
         """Extract the material feature from one paired session.
 
@@ -448,6 +453,7 @@ class MaterialFeatureExtractor:
             true_omega=true_omega,
             include_coarse_feature=include_coarse_feature,
             material_name=session.material_name,
+            coarse_fallback=coarse_fallback,
         )
 
     def measure_from_observables(
@@ -460,6 +466,7 @@ class MaterialFeatureExtractor:
         true_omega: float | None = None,
         include_coarse_feature: bool = True,
         material_name: str = "",
+        coarse_fallback: bool = False,
     ) -> FeatureMeasurement:
         """Extract the feature from precomputed per-pair observables.
 
@@ -485,6 +492,32 @@ class MaterialFeatureExtractor:
 
         theta_sel = theta_wrapped_all[subcarriers]
         n_sel = neg_log_psi_all[subcarriers]
+
+        # Boundary guard: a NaN here would otherwise surface three stages
+        # later as a garbage classification.  Name the culprits.
+        bad_theta = [
+            int(k)
+            for k, v in zip(subcarriers, theta_sel)
+            if not math.isfinite(v)
+        ]
+        bad_n = [
+            int(k)
+            for k, v in zip(subcarriers, n_sel)
+            if not math.isfinite(v)
+        ]
+        if bad_theta or bad_n:
+            parts = []
+            if bad_theta:
+                parts.append(f"phase observable at subcarrier(s) {bad_theta}")
+            if bad_n:
+                parts.append(
+                    f"amplitude observable at subcarrier(s) {bad_n}"
+                )
+            raise CorruptTraceError(
+                f"non-finite {' and '.join(parts)} for antenna pair "
+                f"{pair}; the channel is dead or saturated there -- "
+                f"re-select subcarriers with these excluded"
+            )
         psi_sel = np.exp(-n_sel)
 
         # Aggregate over the selected subcarriers (they share the
@@ -498,11 +531,30 @@ class MaterialFeatureExtractor:
             # The coarse pair is aggregated over *all* subcarriers with
             # medians: its own good subcarriers are unknown (selection ran
             # on the main pair) and coarse robustness beats precision here.
+            # Degraded subcarriers are simply excluded; if the whole coarse
+            # pair is dead the estimate stays NaN and gamma resolution
+            # falls back to the configured strategy.
             coarse_theta, coarse_n = coarse_observables
+            coarse_theta_agg = circular_mean(coarse_theta, ignore_nan=True)
+            coarse_n_agg = float(finite_median(coarse_n))
+            if math.isfinite(coarse_theta_agg) and math.isfinite(coarse_n_agg):
+                omega_coarse = coarse_omega_estimate(
+                    coarse_theta_agg,
+                    coarse_n_agg,
+                    self.reference_omegas,
+                )
+        if (
+            coarse_fallback
+            and include_coarse_feature
+            and not math.isfinite(omega_coarse)
+        ):
+            # Degraded capture: the small-lever pair is dead (or no live
+            # substitute exists) but the feature vector must keep its
+            # training-time width.  Estimate the coarse anchor from the
+            # main pair's own observables instead -- coarser than a real
+            # small-lever reading, still branch-independent.
             omega_coarse = coarse_omega_estimate(
-                circular_mean(coarse_theta),
-                float(np.median(coarse_n)),
-                self.reference_omegas,
+                theta_agg, n_agg, self.reference_omegas
             )
 
         # Resolve gamma: exactly from the label during training, else from

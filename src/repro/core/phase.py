@@ -58,9 +58,15 @@ class PhaseCalibrator:
 
         This is the "averaging over a time window" that removes
         ``Delta-Z`` in Eq. 6.
+
+        NaN-aware: packets with non-finite readings on a subcarrier are
+        excluded from that subcarrier's mean (bit-identical to the plain
+        mean on clean traces); a subcarrier with no finite reading at
+        all averages to NaN, which the downstream feature guard rejects
+        by name.
         """
         diffs = self.phase_difference(trace, pair)
-        return circular_mean_axis(diffs, axis=0)
+        return circular_mean_axis(diffs, axis=0, ignore_nan=True)
 
     def angular_fluctuation_deg(
         self,

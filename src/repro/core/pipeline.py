@@ -45,6 +45,12 @@ from repro.core.feature import (
 from repro.core.phase import PhaseCalibrator
 from repro.core.subcarrier import SubcarrierSelector
 from repro.csi.collector import CaptureSession
+from repro.csi.quality import (
+    CorruptTraceError,
+    SessionQualityReport,
+    gate_report,
+)
+from repro.dsp.stats import finite_mean
 from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser
 from repro.engine.artifacts import ClassificationArtifact
 from repro.engine.cache import StageCache
@@ -108,6 +114,7 @@ class WiMi:
         self._classifier_token: str = ""
         self._pair: tuple[int, int] | None = None
         self._feature_pairs: list[tuple[int, int]] | None = None
+        self._ranked_pairs: list[tuple[int, int]] | None = None
         self._coarse_pair: tuple[int, int] | None = None
         self._subcarriers: list[int] | None = None
         self._subcarriers_by_pair: dict[tuple[int, int], list[int]] = {}
@@ -157,6 +164,11 @@ class WiMi:
             if self._feature_pairs is not None
             else None
         )
+        view._ranked_pairs = (
+            list(self._ranked_pairs)
+            if self._ranked_pairs is not None
+            else None
+        )
         view._coarse_pair = self._coarse_pair
         view._subcarriers = (
             list(self._subcarriers) if self._subcarriers is not None else None
@@ -188,6 +200,10 @@ class WiMi:
         # least material signal, so it must not crowd out a precise pair.
         self._coarse_pair = self._find_coarse_pair(sessions[0], None)
         precise = [p for p in ranked if p != self._coarse_pair] or ranked
+        # Keep the full precise ranking: a degraded identify-time session
+        # whose calibrated pair touches a dead antenna falls back to the
+        # next-best usable pair from this list.
+        self._ranked_pairs = list(precise)
 
         if self.config.antenna_pair is not None:
             pair = self.config.antenna_pair
@@ -238,27 +254,37 @@ class WiMi:
         return sorted(scores, key=lambda p: scores[p])
 
     def _find_coarse_pair(
-        self, session: CaptureSession, main_pair: tuple[int, int] | None
+        self,
+        session: CaptureSession,
+        main_pair: tuple[int, int] | None,
+        exclude_antennas: tuple[int, ...] = (),
     ) -> tuple[int, int] | None:
         """The smallest-lever pair, used for coarse gamma resolution.
 
         ``-ln DeltaPsi`` scales with the pair's path-length-difference
         lever for any material, so the pair with the smallest aggregate
         ``|N|`` is the smallest-lever one -- identifiable from a single
-        session without knowing the geometry.
+        session without knowing the geometry.  ``exclude_antennas``
+        removes quality-disqualified chains from the candidate set;
+        returns None when no candidate (with a finite lever) remains.
         """
         if not self.config.use_coarse_pair or session.num_antennas < 3:
             return None
-        candidates = [
-            p
-            for p in self.pair_selector.all_pairs(session.baseline)
-            if main_pair is None or p != main_pair
-        ]
+        try:
+            candidates = [
+                p
+                for p in self.pair_selector.all_pairs(
+                    session.baseline, exclude_antennas or None
+                )
+                if main_pair is None or p != main_pair
+            ]
+        except CorruptTraceError:
+            return None
         best_pair = None
         best_n = float("inf")
         for pair in candidates:
             n_all = self.engine.observables(session, pair).neg_log_psi
-            magnitude = abs(float(np.mean(n_all)))
+            magnitude = abs(float(finite_mean(n_all)))
             if magnitude < best_n:
                 best_n = magnitude
                 best_pair = pair
@@ -327,17 +353,152 @@ class WiMi:
         return [self.choose_pair(session)]
 
     def _subcarriers_for(
-        self, session: CaptureSession, pair: tuple[int, int]
+        self,
+        session: CaptureSession,
+        pair: tuple[int, int],
+        exclude: tuple[int, ...] = (),
     ) -> list[int]:
         """Calibrated subcarriers for ``pair``, or a fresh selection.
 
         Uses an explicit ``is None`` check: a legitimately-empty
         calibrated list must not fall through to re-selection.
+
+        ``exclude`` (quality-disqualified subcarriers) removes members
+        of the calibrated/override list and tops the selection back up
+        to the original width from the session's own quality-filtered
+        ranking -- the feature vector must keep its training-time width
+        or the classifier rejects it.  Raises
+        :class:`~repro.csi.quality.CorruptTraceError` when too few
+        usable subcarriers remain to preserve that width.
         """
         selected = self._subcarriers_by_pair.get(pair)
+        if selected is None and self.config.subcarrier_override is not None:
+            selected = list(self.config.subcarrier_override)
         if selected is not None:
-            return list(selected)
-        return self.choose_subcarriers(session, pair)
+            if not exclude:
+                return list(selected)
+            banned = set(int(k) for k in exclude)
+            kept = [k for k in selected if k not in banned]
+            missing = len(selected) - len(kept)
+            if missing == 0:
+                return kept
+            # Top up from a fresh quality-aware per-session selection so
+            # the vector keeps its calibrated width.
+            refill = self.engine.select_subcarriers(
+                [session],
+                pair,
+                count=missing,
+                exclude=tuple(banned | set(kept)),
+            ).subcarriers
+            if len(refill) < missing:
+                raise CorruptTraceError(
+                    f"cannot replace {missing} disqualified subcarrier(s) "
+                    f"{sorted(banned & set(selected))} for pair {pair}: "
+                    f"only {len(refill)} usable substitutes remain"
+                )
+            return sorted(kept + list(refill))
+        if self._subcarriers is not None and not exclude:
+            return list(self._subcarriers)
+        count = self.config.num_good_subcarriers
+        chosen = list(
+            self.engine.select_subcarriers(
+                [session], pair, count=count, exclude=exclude
+            ).subcarriers
+        )
+        if exclude and len(chosen) < count:
+            raise CorruptTraceError(
+                f"only {len(chosen)} usable subcarriers remain for pair "
+                f"{pair} after excluding {sorted(set(exclude))} "
+                f"(need {count})"
+            )
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Quality boundary
+    # ------------------------------------------------------------------
+
+    def assess(self, session: CaptureSession) -> SessionQualityReport:
+        """Memoized quality measurement of one session (both traces)."""
+        return SessionQualityReport(
+            baseline=self.engine.trace_quality(session.baseline).report,
+            target=self.engine.trace_quality(session.target).report,
+        )
+
+    def _gate(self, session: CaptureSession) -> SessionQualityReport | None:
+        """Measure + gate a session under the configured policy.
+
+        Returns the report (None under policy ``"skip"``); raises
+        :class:`~repro.csi.quality.CorruptTraceError` on hard failures,
+        warns :class:`~repro.csi.quality.DegradedTraceWarning` on soft
+        ones.
+        """
+        if self.config.degradation_policy == "skip":
+            return None
+        report = self.assess(session)
+        gate_report(
+            report,
+            self.config.degradation_policy,
+            label=session.material_name or "session",
+        )
+        return report
+
+    def _usable_pairs(
+        self, session: CaptureSession, dead: set[int]
+    ) -> list[tuple[int, int]]:
+        """Precise pairs not touching a dead antenna, most stable first."""
+        if self._ranked_pairs is not None:
+            usable = [p for p in self._ranked_pairs if dead.isdisjoint(p)]
+            if usable:
+                return usable
+        # Not calibrated (or every calibrated pair is dead): rank the
+        # survivors on this session alone.  rank() itself raises
+        # CorruptTraceError when nothing usable remains.
+        return [
+            s.pair
+            for s in self.pair_selector.rank(session, sorted(dead))
+        ]
+
+    def _degraded_plan(
+        self,
+        session: CaptureSession,
+        quality: SessionQualityReport,
+        pairs: list[tuple[int, int]],
+    ) -> tuple[list[tuple[int, int]], tuple[int, int] | None]:
+        """Feature pairs + coarse pair for a degraded session.
+
+        Every pair touching a dead antenna is substituted by the next
+        most stable usable pair (duplicating the best usable pair when
+        the receiver has fewer live pairs than the calibrated feature
+        width needs -- the vector must keep its training-time shape).
+        The coarse pair is re-derived among live antennas, or dropped
+        (None) when no live candidate exists.
+        """
+        dead = set(quality.dead_antennas)
+        if dead:
+            candidates = self._usable_pairs(session, dead)
+            substituted: list[tuple[int, int]] = []
+            for pair in pairs:
+                if dead.isdisjoint(pair):
+                    substituted.append(pair)
+                    continue
+                replacement = next(
+                    (c for c in candidates if c not in substituted),
+                    candidates[0],
+                )
+                substituted.append(replacement)
+            pairs = substituted
+        coarse = self._coarse_pair
+        if coarse is not None and not dead.isdisjoint(coarse):
+            coarse = None
+        if (
+            coarse is None
+            and self.config.use_coarse_pair
+            and session.num_antennas - len(dead) >= 3
+        ):
+            coarse = self._find_coarse_pair(
+                session, pairs[0], exclude_antennas=tuple(sorted(dead))
+            )
+        return pairs, coarse
 
     def extract(
         self, session: CaptureSession, true_omega: float | None = None
@@ -347,29 +508,52 @@ class WiMi:
         Every stage is memoized: extracting the same session twice (or
         extracting it after ``fit`` already saw it) performs zero
         additional calibrator/denoiser executions.
+
+        Under quality gating (``config.degradation_policy`` not
+        ``"skip"``) the session is measured and gated first; a degraded
+        session is processed with fallbacks -- dead antennas excluded
+        from pair choice, disqualified subcarriers replaced, the coarse
+        anchor re-derived or approximated -- and the resulting
+        :class:`~repro.core.feature.SessionFeatures` carries the
+        :class:`~repro.csi.quality.SessionQualityReport`.
         """
+        quality = self._gate(session)
         pairs = self._session_pairs(session)
         coarse = self._coarse_pair
+        exclude_sc: tuple[int, ...] = ()
+        coarse_fallback = False
+        if quality is not None and quality.is_degraded:
+            pairs, coarse = self._degraded_plan(session, quality, pairs)
+            exclude_sc = tuple(quality.bad_subcarriers)
+            # Preserve the feature-vector width even when the coarse
+            # anchor cannot be measured on a live small-lever pair.
+            coarse_fallback = self.config.include_coarse_feature
         if (
             coarse is None
+            and not coarse_fallback
             and self.config.use_coarse_pair
             and session.num_antennas >= 3
         ):
             coarse = self._find_coarse_pair(session, pairs[0])
         measurements = []
         for pair in pairs:
-            subcarriers = self._subcarriers_for(session, pair)
+            subcarriers = self._subcarriers_for(
+                session, pair, exclude=exclude_sc
+            )
             artifact = self.engine.extract_feature(
                 session,
                 pair,
                 tuple(subcarriers),
-                coarse_pair=coarse,
+                coarse_pair=coarse if coarse != pair else None,
                 true_omega=true_omega,
                 include_coarse_feature=self.config.include_coarse_feature,
+                coarse_fallback=coarse_fallback,
             )
             measurements.append(artifact.measurement)
         return SessionFeatures(
-            measurements=measurements, material_name=session.material_name
+            measurements=measurements,
+            material_name=session.material_name,
+            quality=quality,
         )
 
     def extract_labelled(self, session: CaptureSession) -> SessionFeatures:

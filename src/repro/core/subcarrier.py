@@ -11,12 +11,36 @@ most stable ("good") ones.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.csi.model import CsiTrace
+from repro.csi.quality import CorruptTraceError
 from repro.csi.subcarriers import validate_subcarrier_selection
 from repro.dsp.stats import phase_difference_variance
 from repro.core.phase import PhaseCalibrator
+
+
+def _usable_order(
+    scores: np.ndarray, exclude: Sequence[int] | None
+) -> list[int]:
+    """Subcarrier positions by ascending score, minus excluded and
+    non-finite (dead-channel) entries; raises when nothing survives."""
+    scores = np.asarray(scores, dtype=float)
+    banned = set(int(k) for k in exclude) if exclude else set()
+    order = [
+        int(k)
+        for k in np.argsort(scores, kind="stable")
+        if k not in banned and np.isfinite(scores[k])
+    ]
+    if not order:
+        raise CorruptTraceError(
+            f"no usable subcarriers remain out of {scores.size} "
+            f"({len(banned)} excluded by quality gating, the rest "
+            f"scored non-finite)"
+        )
+    return order
 
 
 class SubcarrierSelector:
@@ -30,7 +54,10 @@ class SubcarrierSelector:
     ) -> np.ndarray:
         """Eq. 7 per-subcarrier variance of the phase-difference series.
 
-        Returns shape ``(K,)``; the Fig. 6 curve.
+        Returns shape ``(K,)``; the Fig. 6 curve.  NaN-aware: degraded
+        packets are excluded per subcarrier (identical result on clean
+        traces) and a subcarrier with no finite reading scores NaN,
+        which the selection methods filter out.
         """
         diffs = self.calibrator.phase_difference(trace, pair)
         if diffs.shape[0] < 2:
@@ -39,7 +66,10 @@ class SubcarrierSelector:
                 f"{diffs.shape[0]}"
             )
         return np.array(
-            [phase_difference_variance(diffs[:, k]) for k in range(diffs.shape[1])]
+            [
+                phase_difference_variance(diffs[:, k], ignore_nan=True)
+                for k in range(diffs.shape[1])
+            ]
         )
 
     def combined_variances(
@@ -61,15 +91,23 @@ class SubcarrierSelector:
         target: CsiTrace,
         pair: tuple[int, int],
         count: int = 4,
+        exclude: Sequence[int] | None = None,
     ) -> list[int]:
         """Positions of the ``count`` most stable subcarriers (ascending
-        variance order)."""
+        variance order).
+
+        ``exclude`` removes quality-disqualified subcarriers from the
+        candidate set; non-finite scores (fully dead channels) are
+        dropped automatically.  Raises
+        :class:`~repro.csi.quality.CorruptTraceError` when no usable
+        subcarrier remains.
+        """
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         scores = self.combined_variances(baseline, target, pair)
-        count = min(count, scores.size)
-        best = np.argsort(scores, kind="stable")[:count]
-        return validate_subcarrier_selection(sorted(best.tolist()), scores.size)
+        usable = _usable_order(scores, exclude)
+        best = usable[: min(count, len(usable))]
+        return validate_subcarrier_selection(sorted(best), scores.size)
 
     def pooled_variances(
         self,
@@ -96,20 +134,23 @@ class SubcarrierSelector:
         self,
         sessions,
         pair: tuple[int, int],
+        exclude: Sequence[int] | None = None,
     ) -> list[int]:
-        """All subcarrier positions ordered best (lowest variance) first.
+        """Usable subcarrier positions ordered best (lowest variance) first.
 
         Pools Eq. 7 variances over ``sessions`` like :meth:`select_pooled`
         but returns the complete ranking instead of the top few.
+        Excluded and non-finite-scoring subcarriers are omitted.
         """
         total = self.pooled_variances(sessions, pair)
-        return np.argsort(total, kind="stable").tolist()
+        return _usable_order(total, exclude)
 
     def select_pooled(
         self,
         sessions,
         pair: tuple[int, int],
         count: int = 4,
+        exclude: Sequence[int] | None = None,
     ) -> list[int]:
         """Deployment-level selection: pool Eq. 7 variances over sessions.
 
@@ -121,6 +162,6 @@ class SubcarrierSelector:
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         total = self.pooled_variances(sessions, pair)
-        count = min(count, total.size)
-        best = np.argsort(total, kind="stable")[:count]
-        return validate_subcarrier_selection(sorted(best.tolist()), total.size)
+        usable = _usable_order(total, exclude)
+        best = usable[: min(count, len(usable))]
+        return validate_subcarrier_selection(sorted(best), total.size)

@@ -17,12 +17,29 @@ capture end to end:
   impairments into packet streams.
 * :mod:`repro.csi.collector` -- the paper's Data Collection Module:
   paired baseline (no target) / target capture sessions.
+* :mod:`repro.csi.faults` -- seeded, composable fault injectors
+  modelling degraded commodity captures (packet loss, dead antennas,
+  AGC clipping, NaN subcarriers, damaged ``.wimi`` files).
+* :mod:`repro.csi.quality` -- the quality boundary: trace assessment,
+  gating thresholds and the ``CorruptTraceError`` /
+  ``DegradedTraceWarning`` taxonomy.
 """
 
 from repro.csi.collector import CaptureSession, DataCollector, SessionConfig
 from repro.csi.impairments import HardwareProfile, IntelQuantizer
 from repro.csi.io import load_session, load_trace, save_session, save_trace
 from repro.csi.model import CsiPacket, CsiTrace
+from repro.csi.quality import (
+    CorruptTraceError,
+    DegradedTraceWarning,
+    QualityThresholds,
+    SessionQualityReport,
+    TraceQualityReport,
+    assess_session,
+    assess_trace,
+    gate_session,
+    gate_trace,
+)
 from repro.csi.simulator import CsiSimulator, SimulationScene
 from repro.csi.subcarriers import (
     INTEL5300_NUM_SUBCARRIERS,
@@ -32,15 +49,24 @@ from repro.csi.subcarriers import (
 
 __all__ = [
     "CaptureSession",
+    "CorruptTraceError",
     "CsiPacket",
     "CsiSimulator",
     "CsiTrace",
     "DataCollector",
+    "DegradedTraceWarning",
     "HardwareProfile",
     "INTEL5300_NUM_SUBCARRIERS",
     "IntelQuantizer",
+    "QualityThresholds",
     "SessionConfig",
+    "SessionQualityReport",
     "SimulationScene",
+    "TraceQualityReport",
+    "assess_session",
+    "assess_trace",
+    "gate_session",
+    "gate_trace",
     "intel5300_subcarrier_indices",
     "load_session",
     "load_trace",

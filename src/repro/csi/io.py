@@ -16,6 +16,7 @@ trace match the original to CSI-Tool-like precision.
 
 from __future__ import annotations
 
+import math
 import struct
 from pathlib import Path
 
@@ -23,6 +24,7 @@ import numpy as np
 
 from repro.csi.collector import CaptureSession
 from repro.csi.model import CsiPacket, CsiTrace
+from repro.csi.quality import CorruptTraceError
 
 #: Magic bytes and version of the binary trace format.
 _MAGIC = b"WIMI"
@@ -74,31 +76,88 @@ def save_trace(trace: CsiTrace, path: str | Path) -> None:
 
 
 def load_trace(path: str | Path) -> CsiTrace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`.
+
+    Validates the structure as it goes and raises
+    :class:`~repro.csi.quality.CorruptTraceError` (a ``ValueError``)
+    carrying the byte offset of the damage on truncated or bit-flipped
+    files, rather than leaking ``struct.error`` or returning garbage.
+    """
     path = Path(path)
     data = path.read_bytes()
     if len(data) < _FILE_HEADER.size:
-        raise ValueError(f"{path}: truncated file header")
+        raise CorruptTraceError(
+            f"{path}: truncated file header "
+            f"({len(data)} of {_FILE_HEADER.size} bytes)",
+            byte_offset=len(data),
+        )
     magic, version, count, carrier = _FILE_HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
-        raise ValueError(f"{path}: not a WiMi trace (bad magic {magic!r})")
+        raise CorruptTraceError(
+            f"{path}: not a WiMi trace (bad magic {magic!r} at offset 0)",
+            byte_offset=0,
+        )
     if version != _VERSION:
-        raise ValueError(
+        raise CorruptTraceError(
             f"{path}: unsupported format version {version} "
-            f"(expected {_VERSION})"
+            f"(expected {_VERSION})",
+            byte_offset=4,
+        )
+    if not math.isfinite(carrier) or carrier <= 0:
+        raise CorruptTraceError(
+            f"{path}: corrupt carrier frequency {carrier!r} in file header",
+            byte_offset=10,
         )
     offset = _FILE_HEADER.size
     packets: list[CsiPacket] = []
-    for _ in range(count):
+    shape: tuple[int, int] | None = None
+    for index in range(count):
         if offset + _PACKET_HEADER.size > len(data):
-            raise ValueError(f"{path}: truncated packet header")
+            raise CorruptTraceError(
+                f"{path}: truncated packet header for packet {index} "
+                f"at offset {offset} (file has {len(data)} bytes, "
+                f"header promised {count} packets)",
+                byte_offset=offset,
+            )
         timestamp, sequence, num_sc, num_ant, scale = _PACKET_HEADER.unpack_from(
             data, offset
         )
+        if num_sc == 0 or num_ant == 0:
+            raise CorruptTraceError(
+                f"{path}: corrupt packet {index} header at offset {offset}: "
+                f"empty dimensions ({num_sc} subcarriers x {num_ant} antennas)",
+                byte_offset=offset,
+            )
+        if shape is None:
+            shape = (num_sc, num_ant)
+        elif (num_sc, num_ant) != shape:
+            raise CorruptTraceError(
+                f"{path}: corrupt packet {index} header at offset {offset}: "
+                f"dimensions ({num_sc}, {num_ant}) disagree with the "
+                f"trace's {shape}",
+                byte_offset=offset,
+            )
+        if not math.isfinite(scale) or scale <= 0:
+            raise CorruptTraceError(
+                f"{path}: corrupt packet {index} header at offset {offset}: "
+                f"bad quantisation scale {scale!r}",
+                byte_offset=offset,
+            )
+        if not math.isfinite(timestamp):
+            raise CorruptTraceError(
+                f"{path}: corrupt packet {index} header at offset {offset}: "
+                f"non-finite timestamp {timestamp!r}",
+                byte_offset=offset,
+            )
         offset += _PACKET_HEADER.size
         body = num_sc * num_ant * 2 * 2  # int16 I/Q
         if offset + body > len(data):
-            raise ValueError(f"{path}: truncated packet body")
+            raise CorruptTraceError(
+                f"{path}: truncated packet body for packet {index} at "
+                f"offset {offset} (need {body} bytes, "
+                f"{len(data) - offset} remain)",
+                byte_offset=offset,
+            )
         raw = np.frombuffer(
             data, dtype=np.int16, count=num_sc * num_ant * 2, offset=offset
         ).reshape(num_sc, num_ant, 2)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.feature import FeatureMeasurement
+from repro.csi.quality import TraceQualityReport
 
 #: Attribute used to pin a computed fingerprint on traces/sessions.
 _FINGERPRINT_ATTR = "_engine_fingerprint"
@@ -130,6 +131,13 @@ class Artifact:
     """Base: every artifact remembers the cache key it lives under."""
 
     key: str
+
+
+@dataclass(frozen=True)
+class TraceQualityArtifact(Artifact):
+    """Output of ``trace_quality``: degradation measurement of one trace."""
+
+    report: TraceQualityReport
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ from repro.core.feature import MaterialFeatureExtractor, SessionFeatures
 from repro.core.subcarrier import SubcarrierSelector
 from repro.csi.collector import CaptureSession
 from repro.csi.model import CsiTrace
+from repro.csi.quality import TraceQualityReport, assess_trace
 from repro.engine.artifacts import (
     ClassificationArtifact,
     DenoisedTraceArtifact,
@@ -35,6 +36,7 @@ from repro.engine.artifacts import (
     ObservablesArtifact,
     PhaseArtifact,
     SubcarrierArtifact,
+    TraceQualityArtifact,
     config_fingerprint,
     features_fingerprint,
     make_key,
@@ -49,6 +51,7 @@ from repro.engine.stages import (
     OBSERVABLES,
     PHASE_CALIBRATION,
     SUBCARRIER_SELECTION,
+    TRACE_QUALITY,
     StageSpec,
     stage_graph,
 )
@@ -126,6 +129,22 @@ class PipelineEngine:
     # Stages
     # ------------------------------------------------------------------
 
+    def trace_quality(self, trace: CsiTrace) -> TraceQualityArtifact:
+        """Degradation measurement of one trace (the quality boundary).
+
+        Pure measurement -- gating decisions (raise/degrade/skip) live in
+        the ``WiMi`` facade, so the memoized report can serve any policy.
+        """
+        key = make_key(
+            trace_fingerprint(trace), self._config_key(TRACE_QUALITY)
+        )
+
+        def compute() -> TraceQualityArtifact:
+            report = assess_trace(trace, self.config.quality_thresholds)
+            return TraceQualityArtifact(key=key, report=report)
+
+        return self._resolve(TRACE_QUALITY, key, compute)
+
     def phase_calibration(
         self, session: CaptureSession, pair: tuple[int, int]
     ) -> PhaseArtifact:
@@ -195,14 +214,18 @@ class PipelineEngine:
         sessions: Iterable[CaptureSession],
         pair: tuple[int, int],
         count: int,
+        exclude: tuple[int, ...] = (),
     ) -> SubcarrierArtifact:
         """Eq. 7 good-subcarrier selection pooled over ``sessions``.
 
         A single session reproduces the per-session selection exactly
-        (pooling over one session is the identity).
+        (pooling over one session is the identity).  ``exclude`` removes
+        quality-disqualified subcarriers from the candidate set (it
+        changes the output, so it is part of the cache key).
         """
         sessions = list(sessions)
         pair = (int(pair[0]), int(pair[1]))
+        exclude = tuple(sorted(int(k) for k in exclude))
         pool = hashlib.blake2b(digest_size=12)
         for session in sessions:
             pool.update(session_fingerprint(session).encode())
@@ -211,12 +234,13 @@ class PipelineEngine:
             len(sessions),
             pair,
             count,
+            exclude,
             self._config_key(SUBCARRIER_SELECTION),
         )
 
         def compute() -> SubcarrierArtifact:
             selected = self.subcarrier_selector.select_pooled(
-                sessions, pair, count=count
+                sessions, pair, count=count, exclude=exclude
             )
             return SubcarrierArtifact(
                 key=key, pair=pair, subcarriers=tuple(int(k) for k in selected)
@@ -232,6 +256,7 @@ class PipelineEngine:
         coarse_pair: tuple[int, int] | None = None,
         true_omega: float | None = None,
         include_coarse_feature: bool = True,
+        coarse_fallback: bool = False,
     ) -> FeatureArtifact:
         """Eq. 18-21 feature block for one (session, pair)."""
         pair = (int(pair[0]), int(pair[1]))
@@ -243,6 +268,7 @@ class PipelineEngine:
             coarse_pair,
             repr(true_omega),
             int(include_coarse_feature),
+            int(coarse_fallback),
             self._config_key(FEATURE_EXTRACTION),
             # Observables config (wavelet etc.) shapes the inputs, so it
             # must shape the key too.
@@ -267,6 +293,7 @@ class PipelineEngine:
                 true_omega=true_omega,
                 include_coarse_feature=include_coarse_feature,
                 material_name=session.material_name,
+                coarse_fallback=coarse_fallback,
             )
             return FeatureArtifact(key=key, measurement=measurement)
 

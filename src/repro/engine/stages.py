@@ -32,6 +32,16 @@ class StageSpec:
     description: str = ""
 
 
+#: Quality boundary: per-trace degradation measurement (finite/live
+#: fractions, loss rate, clipping rate).  Gating decisions downstream
+#: depend on the thresholds, so they parameterise the key.
+TRACE_QUALITY = StageSpec(
+    name="trace_quality",
+    config_fields=("quality_thresholds",),
+    inputs=(),
+    description="TraceQualityReport of one trace (loss/clipping/liveness)",
+)
+
 #: Eq. 5-6: inter-antenna phase differencing, packet-averaged, baseline
 #: vs target.  Depends on data only.
 PHASE_CALIBRATION = StageSpec(
@@ -89,6 +99,7 @@ CLASSIFY = StageSpec(
 
 #: All stages, topologically ordered.
 ALL_STAGES: tuple[StageSpec, ...] = (
+    TRACE_QUALITY,
     PHASE_CALIBRATION,
     AMPLITUDE_DENOISE,
     OBSERVABLES,

@@ -249,6 +249,7 @@ class IdentificationService:
         for name in (
             "requests.submitted", "requests.completed", "requests.failed",
             "requests.rejected", "requests.expired", "requests.retries",
+            "faults.total",
         ):
             self.metrics.counter(name)
         self.metrics.histogram("latency_ms")

@@ -12,6 +12,14 @@ itself (its handle carries the error) and the co-scheduled sessions
 still resolve.  Each failing request is retried up to a configurable
 budget with exponential backoff before its error is returned; the
 worker thread itself survives any request failure.
+
+Every fault is surfaced in the metrics registry: ``faults.total`` plus
+a per-exception-type ``faults.<ClassName>`` counter, and
+``faults.batch_isolated`` whenever a whole batch had to fall back to
+request-at-a-time execution.  :class:`repro.csi.quality.CorruptTraceError`
+is treated as *deterministic* -- a structurally broken capture cannot
+become valid by retrying -- so it fails the request immediately instead
+of burning the backoff budget.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import time
 from typing import Callable
 
 from repro.core.pipeline import WiMi
+from repro.csi.quality import CorruptTraceError
 from repro.serve.metrics import MetricsRegistry
 
 #: How often workers re-check the stop event while idle (seconds).
@@ -110,9 +119,11 @@ class Worker(threading.Thread):
                         f"runner returned {len(labels)} labels for "
                         f"{len(live)} sessions"
                     )
-            except Exception:
+            except Exception as exc:
                 # Batch path failed: isolate the fault by running each
                 # request on its own (with its remaining retry budget).
+                self._record_fault(exc)
+                self.metrics.counter("faults.batch_isolated").inc()
                 for request in live:
                     self._run_isolated(request)
                 return
@@ -126,7 +137,10 @@ class Worker(threading.Thread):
 
         The first isolated attempt is *not* counted against the retry
         budget -- the batch attempt may have failed because of a
-        different (poisoned) co-rider.
+        different (poisoned) co-rider.  A
+        :class:`~repro.csi.quality.CorruptTraceError` short-circuits the
+        budget: a structurally broken capture is deterministic, so
+        retrying it would only delay the rejection.
         """
         error: BaseException | None = None
         for retry in range(self.retry_budget + 1):
@@ -139,14 +153,17 @@ class Worker(threading.Thread):
                 return
             if retry > 0:
                 self.metrics.counter("requests.retries").inc()
-                request.handle.attempts += 1
                 time.sleep(self.backoff_base_s * (2 ** (retry - 1)))
+            request.handle.attempts += 1
             try:
                 labels = self.runner(self.view, [request.session])
                 self._resolve(request, str(labels[0]))
                 return
             except Exception as exc:  # noqa: BLE001 -- isolation boundary
                 error = exc
+                self._record_fault(exc)
+                if isinstance(exc, CorruptTraceError):
+                    break
         assert error is not None
         self._fail(request, error)
 
@@ -164,6 +181,11 @@ class Worker(threading.Thread):
         request.handle.latency_s = time.monotonic() - request.submitted_at
         self.metrics.counter("requests.failed").inc()
         request.handle._fail(error)
+
+    def _record_fault(self, error: BaseException) -> None:
+        """Count one raised fault under its exception type."""
+        self.metrics.counter("faults.total").inc()
+        self.metrics.counter(f"faults.{type(error).__name__}").inc()
 
 
 class WorkerPool:

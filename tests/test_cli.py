@@ -98,3 +98,22 @@ class TestExecution:
         assert "rejected" in out and "retries" in out
         assert "stage cache" in out
         assert "predictions identical: yes" in out
+
+
+class TestRobustnessBench:
+    def test_registered_outside_all(self):
+        assert "robustness-bench" in COMMANDS
+        assert not COMMANDS["robustness-bench"].in_all
+
+    def test_options_parsed(self):
+        args = build_parser().parse_args(
+            ["robustness-bench", "--robustness-output", "out.json",
+             "--workers", "3", "--seed", "4"]
+        )
+        assert args.robustness_output == "out.json"
+        assert args.workers == 3
+        assert args.seed == 4
+
+    def test_default_output_is_the_committed_artifact(self):
+        args = build_parser().parse_args(["robustness-bench"])
+        assert args.robustness_output == "ROBUSTNESS_PR5.json"

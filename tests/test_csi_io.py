@@ -93,3 +93,54 @@ class TestSessionArchive:
         np.savez(path, baseline=np.zeros((1, 2, 2), dtype=complex))
         with pytest.raises(ValueError, match="missing arrays"):
             load_session(path)
+
+
+class TestOnDiskFaults:
+    """Damaged ``.wimi`` files surface as typed errors with byte offsets."""
+
+    def test_truncation_reports_byte_offset(self, session, tmp_path):
+        from repro.csi.faults import truncate_file
+        from repro.csi.quality import CorruptTraceError
+
+        path = tmp_path / "trace.wimi"
+        save_trace(session.baseline, path)
+        new_size = truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(CorruptTraceError, match="truncated") as excinfo:
+            load_trace(path)
+        assert excinfo.value.byte_offset is not None
+        assert 0 <= excinfo.value.byte_offset <= new_size
+
+    def test_bit_flips_rejected_not_crashed(self, session, tmp_path):
+        from repro.csi.faults import flip_bits
+        from repro.csi.quality import CorruptTraceError
+
+        # Any corruption outcome must be a typed rejection (or a clean
+        # load when the flips only grazed payload mantissa bits) --
+        # never an uncontrolled crash.
+        for seed in range(8):
+            path = tmp_path / f"trace{seed}.wimi"
+            save_trace(session.baseline, path)
+            flip_bits(path, num_flips=16, seed=seed)
+            try:
+                load_trace(path)
+            except CorruptTraceError as error:
+                assert error.byte_offset is None or error.byte_offset >= 0
+
+    def test_header_magic_flip_pinpointed_at_offset_zero(
+        self, session, tmp_path
+    ):
+        from repro.csi.quality import CorruptTraceError
+
+        path = tmp_path / "trace.wimi"
+        save_trace(session.baseline, path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptTraceError, match="magic") as excinfo:
+            load_trace(path)
+        assert excinfo.value.byte_offset == 0
+
+    def test_corrupt_error_is_a_value_error(self):
+        from repro.csi.quality import CorruptTraceError
+
+        assert issubclass(CorruptTraceError, ValueError)

@@ -163,3 +163,70 @@ class TestMeanAccuracyOverSeeds:
             mean_accuracy_over_seeds(
                 [catalog.get("oil"), catalog.get("soy")], seeds=()
             )
+
+
+class TestRobustnessSweeps:
+    def test_packet_loss_sweep_smoke(self):
+        from repro.experiments import robustness
+
+        results = robustness.packet_loss_sweep(
+            rates=(0.0, 0.3),
+            materials=("pure_water", "oil"),
+            repetitions=4,
+            num_packets=6,
+            seed=1,
+        )
+        assert [r.parameter for r in results] == [0.0, 0.3]
+        clean, lossy = results
+        assert clean.total == lossy.total > 0
+        assert clean.rejected == 0 and clean.degraded == 0
+        assert 0.0 <= lossy.accuracy <= 1.0
+        # Losing packets must register as degradation, not pass silently.
+        assert lossy.degraded > 0
+
+    def test_antenna_dropout_sweep_smoke(self):
+        from repro.experiments import robustness
+
+        results = robustness.antenna_dropout_sweep(
+            materials=("pure_water", "oil"),
+            modes=("nan",),
+            repetitions=4,
+            num_packets=6,
+            seed=1,
+        )
+        assert results[0].scenario == "none"
+        assert len(results) == 4  # anchor + one per antenna
+        for point in results[1:]:
+            assert point.degraded + point.rejected == point.total
+
+    def test_payloads_are_picklable(self):
+        import pickle
+
+        from repro.experiments.robustness import (
+            _payload, _scenario_task,
+        )
+        from repro.csi.faults import PacketLoss
+
+        payload = _payload(
+            "packet_loss", "loss=0.2", 0.2, (PacketLoss(0.2),),
+            ("pure_water", "oil"), 0, 4, 6, 0.5,
+        )
+        assert pickle.loads(pickle.dumps(payload)) == payload
+        assert pickle.loads(pickle.dumps(_scenario_task)) is _scenario_task
+
+    def test_report_roundtrip(self, tmp_path):
+        import json
+
+        from repro.experiments import robustness
+        from repro.experiments.robustness import ScenarioResult
+
+        point = ScenarioResult(
+            sweep="packet_loss", scenario="loss=0.1", parameter=0.1,
+            total=10, correct=9, rejected=1, degraded=5,
+        )
+        results = {"packet_loss": [point.to_dict()]}
+        path = tmp_path / "robustness.json"
+        report = robustness.write_report(path, results)
+        assert json.loads(path.read_text()) == report
+        rendered = robustness.render_report(results)
+        assert "loss=0.1" in rendered and "90.0%" in rendered

@@ -159,3 +159,85 @@ class TestProperties:
     def test_mad_translation_invariant(self, data):
         x = np.array(data)
         assert mad(x + 7.5) == pytest.approx(mad(x), abs=1e-9)
+
+
+class TestNanAwareStatistics:
+    """The ``ignore_nan`` variants: bit-identical on clean data, NaN-blind
+    on degraded data, and silent under ``-W error::RuntimeWarning``."""
+
+    CLEAN = np.array([0.2, -0.1, 0.4, 0.05, -0.3])
+    HOLED = np.array([0.2, np.nan, 0.4, np.nan, -0.3])
+
+    def test_clean_input_bit_identical(self):
+        from repro.dsp.stats import finite_mean, finite_median
+
+        for fn in (
+            circular_mean, resultant_length, circular_variance,
+            circular_std, mad, robust_sigma, sample_variance,
+            phase_difference_variance,
+        ):
+            assert fn(self.CLEAN, ignore_nan=True) == fn(self.CLEAN)
+        assert finite_mean(self.CLEAN) == np.mean(self.CLEAN)
+        assert finite_median(self.CLEAN) == np.median(self.CLEAN)
+
+    def test_nan_excluded_not_propagated(self):
+        finite_only = self.HOLED[np.isfinite(self.HOLED)]
+        assert circular_mean(self.HOLED, ignore_nan=True) == pytest.approx(
+            circular_mean(finite_only)
+        )
+        assert mad(self.HOLED, ignore_nan=True) == pytest.approx(
+            mad(finite_only)
+        )
+        assert sample_variance(self.HOLED, ignore_nan=True) == pytest.approx(
+            sample_variance(finite_only)
+        )
+
+    def test_without_flag_nan_propagates(self):
+        assert math.isnan(circular_mean(self.HOLED))
+        assert math.isnan(sample_variance(self.HOLED))
+
+    def test_all_nan_yields_nan_not_warning(self):
+        import warnings
+
+        all_nan = np.full(4, np.nan)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert math.isnan(circular_mean(all_nan, ignore_nan=True))
+            assert math.isnan(mad(all_nan, ignore_nan=True))
+            assert math.isnan(sample_variance(all_nan, ignore_nan=True))
+
+    def test_finite_fraction(self):
+        from repro.dsp.stats import finite_fraction
+
+        assert finite_fraction(self.CLEAN) == 1.0
+        assert finite_fraction(self.HOLED) == pytest.approx(0.6)
+        matrix = np.stack([self.CLEAN, self.HOLED])
+        np.testing.assert_allclose(
+            finite_fraction(matrix, axis=1), [1.0, 0.6]
+        )
+
+    def test_axis_variants_match_per_slice(self):
+        from repro.dsp.stats import circular_mean_axis, circular_std_axis
+
+        matrix = np.stack([self.CLEAN, self.HOLED])
+        means = circular_mean_axis(matrix, axis=1, ignore_nan=True)
+        stds = circular_std_axis(matrix, axis=1, ignore_nan=True)
+        assert means[0] == pytest.approx(circular_mean(self.CLEAN))
+        assert means[1] == pytest.approx(
+            circular_mean(self.HOLED, ignore_nan=True)
+        )
+        assert stds[1] == pytest.approx(
+            circular_std(self.HOLED, ignore_nan=True)
+        )
+
+    def test_no_runtime_warnings_on_degraded_input(self):
+        import warnings
+
+        from repro.dsp.stats import finite_mean, finite_median
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            circular_std(self.HOLED, ignore_nan=True)
+            phase_difference_variance(self.HOLED, ignore_nan=True)
+            finite_mean(self.HOLED)
+            finite_median(self.HOLED)
