@@ -209,11 +209,13 @@ def _bench_cache(args) -> str:
     lines = [
         f"bench-cache -- stage memoization over one deployment "
         f"(seed {args.seed}, {len(train)} train / {len(test)} test)",
-        f"  {'stage':<22} {'executions':>10} {'hits':>8} {'hit rate':>9}",
+        f"  {'stage':<22} {'executions':>10} {'memory':>8} {'disk':>6} "
+        f"{'hit rate':>9}",
     ]
     for stage, stats in sorted(wimi.cache.snapshot().items()):
         lines.append(
-            f"  {stage:<22} {stats['misses']:>10d} {stats['hits']:>8d} "
+            f"  {stage:<22} {stats['misses']:>10d} "
+            f"{stats['memory_hits']:>8d} {stats['disk_hits']:>6d} "
             f"{stats['hit_rate']:>8.1%}"
         )
     lines.append(
@@ -310,12 +312,22 @@ def _serve_bench(args) -> str:
         f"{counters['requests.rejected']} rejected, "
         f"{counters['requests.retries']} retries, "
         f"{counters['requests.expired']} expired",
+        f"  cache tiers: {counters['cache.memory_hits']} memory hits, "
+        f"{counters['cache.disk_hits']} disk hits, "
+        f"{counters['cache.misses']} misses",
         "  stage cache (shared across workers):",
     ]
     for stage, stats in sorted(snap["stage_cache"].items()):
         lines.append(
-            f"    {stage:<22} {stats['misses']:>6d} exec {stats['hits']:>7d} "
-            f"hits {stats['hit_rate']:>8.1%}"
+            f"    {stage:<22} {stats['misses']:>6d} exec "
+            f"{stats['memory_hits']:>7d} mem {stats['disk_hits']:>5d} disk "
+            f"{stats['hit_rate']:>8.1%}"
+        )
+    if "artifact_store" in snap:
+        store = snap["artifact_store"]
+        lines.append(
+            f"  artifact store: {store['hits']} hits, {store['misses']} "
+            f"misses, {store['writes']} writes, {store['corrupt']} corrupt"
         )
     return "\n".join(lines)
 
@@ -366,6 +378,64 @@ def _robustness_bench(args) -> str:
     return report
 
 
+def _store(args) -> str:
+    """``repro store``: inspect (and optionally gc) the artifact store.
+
+    Prints total and per-stage entry counts and byte sizes of the
+    content-addressed store at ``--store-path``; ``--gc`` additionally
+    prunes stale temp files and entries that fail integrity
+    verification.
+    """
+    from repro.persist.store import ArtifactStore
+
+    store = ArtifactStore(args.store_path)
+    stats = store.stats()
+    lines = [
+        f"artifact store at {stats['root']}",
+        f"  {stats['entries']} entries, {stats['bytes']} bytes",
+    ]
+    if stats["stages"]:
+        width = max(len(s) for s in stats["stages"])
+        for stage, info in stats["stages"].items():
+            lines.append(
+                f"  {stage:<{width}}  {info['entries']:>6d} entries  "
+                f"{info['bytes']:>10d} bytes"
+            )
+    else:
+        lines.append("  (empty)")
+    if args.gc:
+        removed = store.gc()
+        lines.append(
+            f"  gc: removed {removed['tmp_removed']} temp file(s), "
+            f"{removed['corrupt_removed']} corrupt entr(ies)"
+        )
+    return "\n".join(lines)
+
+
+def _warm_bench(args) -> str:
+    """``repro warm-bench``: cold train-and-serve vs registry warm start.
+
+    Populates the artifact store and model registry under
+    ``--store-path``, restores a second pipeline the way a restarted
+    process would, verifies bit-identical predictions with zero warm
+    stage executions, and writes the committed JSON artifact
+    (``--warm-output``).
+    """
+    from repro.experiments import warmbench
+
+    root = args.store_path
+    results = warmbench.run_warm_bench(
+        store_path=f"{root}/store",
+        registry_path=f"{root}/registry",
+        seed=args.seed,
+        progress=lambda name: print(f"  {name}...", flush=True),
+    )
+    warmbench.write_report(args.warm_output, results)
+    report = warmbench.render_report(results)
+    report += f"\n  report written to {args.warm_output}"
+    return report
+
+
 class Command(NamedTuple):
     """One registered subcommand."""
 
@@ -407,6 +477,13 @@ COMMANDS: dict[str, Command] = {
     ),
     "robustness-bench": Command(
         _robustness_bench, "accuracy-under-fault sweeps (loss, dead antenna)",
+        in_all=False,
+    ),
+    "store": Command(
+        _store, "inspect/gc the persistent artifact store", in_all=False
+    ),
+    "warm-bench": Command(
+        _warm_bench, "cold train-and-serve vs registry warm start",
         in_all=False,
     ),
 }
@@ -476,6 +553,20 @@ def build_parser() -> argparse.ArgumentParser:
     robust.add_argument(
         "--robustness-output", default="ROBUSTNESS_PR5.json",
         help="JSON sweep artifact to write (default ROBUSTNESS_PR5.json)",
+    )
+    persist = parser.add_argument_group("store / warm-bench options")
+    persist.add_argument(
+        "--store-path", default=".wimi-store",
+        help="artifact store / registry root directory "
+        "(default .wimi-store)",
+    )
+    persist.add_argument(
+        "--gc", action="store_true",
+        help="store: also prune stale temp files and corrupt entries",
+    )
+    persist.add_argument(
+        "--warm-output", default="BENCH_PR6.json",
+        help="warm-bench JSON artifact to write (default BENCH_PR6.json)",
     )
     return parser
 

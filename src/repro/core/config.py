@@ -55,6 +55,15 @@ class WiMiConfig:
             ``"skip"`` (no gating; the pre-hardening behaviour).
         quality_thresholds: Gating thresholds of the quality boundary
             (see :class:`repro.csi.quality.QualityThresholds`).
+        artifact_store_path: Directory of the durable artifact tier
+            (:class:`repro.persist.ArtifactStore`) mounted behind the
+            stage cache; ``None`` (default) keeps the cache
+            memory-only.  Neither path participates in stage cache
+            keys -- they locate state, they do not change results.
+        model_registry_path: Directory of the
+            :class:`repro.persist.ModelRegistry` used by
+            ``WiMi.save_to_registry``/``WiMi.from_registry`` for
+            warm-start serving; ``None`` disables registry wiring.
     """
 
     num_good_subcarriers: int = 4
@@ -76,6 +85,8 @@ class WiMiConfig:
     quality_thresholds: QualityThresholds = field(
         default_factory=QualityThresholds
     )
+    artifact_store_path: str | None = None
+    model_registry_path: str | None = None
 
     def __post_init__(self) -> None:
         validate_policy(self.degradation_policy)

@@ -11,15 +11,18 @@ statistics (the Fig. 9 clusters), and builds the configured classifier.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.feature import FeatureMeasurement
 from repro.ml.centroid import NearestCentroidClassifier
+from repro.ml.kernels import make_kernel
 from repro.ml.knn import KNeighborsClassifier
 from repro.ml.multiclass import OneVsOneSVC
 from repro.ml.scaler import StandardScaler
+from repro.ml.svm import BinarySVC
 
 
 @dataclass
@@ -86,6 +89,48 @@ class MaterialDatabase:
                 f"inconsistent feature vector lengths in database: {lengths}"
             )
         return np.stack(xs), np.array(ys)
+
+    # ------------------------------------------------------------------
+    # Persistence (the npz/json payload convention of repro.persist)
+    # ------------------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """Deterministic digest of every (label, vector) in the database.
+
+        Used as the registry manifest's training-set hash and as input
+        to the deterministic classifier token: two processes holding the
+        same training data agree on both.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for label, vectors in self.entries.items():
+            digest.update(label.encode("utf-8") + b"\0")
+            for vector in vectors:
+                digest.update(
+                    np.ascontiguousarray(vector, dtype=float).tobytes()
+                )
+            digest.update(b"\1")
+        return digest.hexdigest()
+
+    def to_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """``(meta, arrays)`` capturing every entry, bit-exactly."""
+        meta = {"labels": list(self.entries)}
+        arrays = {}
+        for index, vectors in enumerate(self.entries.values()):
+            arrays[f"db_{index}"] = (
+                np.stack(vectors) if vectors else np.zeros((0, 0))
+            )
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "MaterialDatabase":
+        """Rebuild a database from :meth:`to_state` output."""
+        entries: dict[str, list[np.ndarray]] = {}
+        for index, label in enumerate(meta["labels"]):
+            stacked = np.asarray(arrays[f"db_{index}"], dtype=float)
+            entries[str(label)] = [np.array(row) for row in stacked]
+        return cls(entries=entries)
 
 
 class DatabaseClassifier:
@@ -194,6 +239,137 @@ class DatabaseClassifier:
         if order.size < 2 or order[1] == 0.0:
             return 1.0
         return float(max(0.0, 1.0 - order[0] / order[1]))
+
+    # ------------------------------------------------------------------
+    # Persistence (the npz/json payload convention of repro.persist)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """``(meta, arrays)`` of the full fitted state.
+
+        Everything prediction touches is captured: scaler moments,
+        branch-search centroids, and the kind-specific classifier (SVM
+        support vectors and multipliers, kNN memorised set, or centroid
+        table).  Restoring via :meth:`from_state` yields bit-identical
+        ``predict``/``confidence``/``resolve_branch_and_predict``.
+        """
+        if self._clf is None or self._centroids is None:
+            raise RuntimeError("cannot serialize an unfitted classifier")
+        meta: dict = {
+            "kind": self.kind,
+            "svm_c": self.svm_c,
+            "knn_k": self.knn_k,
+            "seed": self.seed,
+            "centroid_classes": [str(c) for c in self._centroids.classes_],
+        }
+        arrays: dict[str, np.ndarray] = {
+            "scaler_mean": self._scaler.mean_,
+            "scaler_scale": self._scaler.scale_,
+            "centroids": self._centroids.centroids_,
+        }
+        if self.kind == "svm":
+            machines = []
+            for (a, b), machine in sorted(self._clf._machines.items()):
+                prefix = f"svm_{a}_{b}_"
+                arrays[prefix + "alpha"] = machine._alpha
+                arrays[prefix + "support_x"] = machine._support_x
+                arrays[prefix + "support_y"] = machine._support_y
+                machines.append(
+                    {
+                        "a": a,
+                        "b": b,
+                        "bias": machine._b,
+                        "gamma": machine._gamma,
+                    }
+                )
+            meta["svm"] = {
+                "classes": [str(c) for c in self._clf.classes_],
+                "kernel_name": self._clf.kernel_name,
+                "kernel_params": self._clf.kernel_params,
+                "C": self._clf.C,
+                "seed": self._clf.seed,
+                "machines": machines,
+            }
+        elif self.kind == "knn":
+            arrays["knn_x"] = self._clf._x
+            meta["knn"] = {
+                "k": self._clf.k,
+                "labels": [str(label) for label in self._clf._y],
+            }
+        else:
+            arrays["cls_centroids"] = self._clf.centroids_
+            meta["centroid"] = {
+                "classes": [str(c) for c in self._clf.classes_]
+            }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "DatabaseClassifier":
+        """Rebuild a fitted classifier from :meth:`to_state` output."""
+        self = cls(
+            kind=str(meta["kind"]),
+            svm_c=float(meta["svm_c"]),
+            knn_k=int(meta["knn_k"]),
+            seed=int(meta["seed"]),
+        )
+        self._scaler._mean = np.asarray(arrays["scaler_mean"], dtype=float)
+        self._scaler._scale = np.asarray(arrays["scaler_scale"], dtype=float)
+        centroids = NearestCentroidClassifier()
+        centroids._centroids = np.asarray(arrays["centroids"], dtype=float)
+        centroids._classes = np.array(meta["centroid_classes"])
+        self._centroids = centroids
+
+        if self.kind == "svm":
+            spec = meta["svm"]
+            clf = OneVsOneSVC(
+                kernel=spec["kernel_name"],
+                C=float(spec["C"]),
+                seed=int(spec["seed"]),
+                **spec["kernel_params"],
+            )
+            clf._classes = np.array(spec["classes"])
+            clf._machines = {}
+            for entry in spec["machines"]:
+                a, b = int(entry["a"]), int(entry["b"])
+                prefix = f"svm_{a}_{b}_"
+                machine = BinarySVC(
+                    kernel=make_kernel(
+                        spec["kernel_name"], **spec["kernel_params"]
+                    ),
+                    C=float(spec["C"]),
+                    seed=int(spec["seed"]),
+                )
+                machine._alpha = np.asarray(
+                    arrays[prefix + "alpha"], dtype=float
+                )
+                machine._support_x = np.asarray(
+                    arrays[prefix + "support_x"], dtype=float
+                )
+                machine._support_y = np.asarray(
+                    arrays[prefix + "support_y"], dtype=float
+                )
+                machine._b = float(entry["bias"])
+                machine._gamma = (
+                    None if entry["gamma"] is None else float(entry["gamma"])
+                )
+                machine._fitted = True
+                clf._machines[(a, b)] = machine
+            self._clf = clf
+        elif self.kind == "knn":
+            spec = meta["knn"]
+            clf = KNeighborsClassifier(k=int(spec["k"]))
+            clf._x = np.asarray(arrays["knn_x"], dtype=float)
+            clf._y = np.array(spec["labels"])
+            self._clf = clf
+        else:
+            spec = meta["centroid"]
+            clf = NearestCentroidClassifier()
+            clf._centroids = np.asarray(arrays["cls_centroids"], dtype=float)
+            clf._classes = np.array(spec["classes"])
+            self._clf = clf
+        return self
 
     def _resolve_block(
         self,

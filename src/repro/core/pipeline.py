@@ -29,7 +29,8 @@ Typical use::
 
 from __future__ import annotations
 
-import itertools
+import dataclasses
+import hashlib
 
 import numpy as np
 
@@ -47,19 +48,30 @@ from repro.core.subcarrier import SubcarrierSelector
 from repro.csi.collector import CaptureSession
 from repro.csi.quality import (
     CorruptTraceError,
+    QualityThresholds,
     SessionQualityReport,
     gate_report,
 )
 from repro.dsp.stats import finite_mean
 from repro.dsp.wavelet_denoise import SpatiallySelectiveDenoiser
-from repro.engine.artifacts import ClassificationArtifact
+from repro.engine.artifacts import ClassificationArtifact, config_fingerprint
 from repro.engine.cache import StageCache
 from repro.engine.graph import PipelineEngine
 
-#: Process-wide source of classifier tokens: every (re)fit of any WiMi
-#: instance gets a fresh token, so classification artifacts cached in a
-#: *shared* StageCache can never be served for a different model.
-_CLASSIFIER_TOKENS = itertools.count(1)
+#: Config fields that locate persistent state rather than shaping
+#: results; excluded from the manifest config fingerprint so the same
+#: trained model mounted at a different path stays the same model.
+_LOCATION_FIELDS = ("artifact_store_path", "model_registry_path")
+
+
+def _deployment_config_fingerprint(config: WiMiConfig) -> str:
+    """Fingerprint of every result-shaping config field."""
+    fields = tuple(
+        f.name
+        for f in dataclasses.fields(WiMiConfig)
+        if f.name not in _LOCATION_FIELDS
+    )
+    return config_fingerprint(config, fields)
 
 
 class WiMi:
@@ -102,7 +114,16 @@ class WiMi:
             max_gamma=self.config.max_gamma,
             gamma_strategy=self.config.gamma_strategy,
         )
-        self.cache = cache if cache is not None else StageCache()
+        if cache is not None:
+            self.cache = cache
+        elif self.config.artifact_store_path is not None:
+            from repro.persist.store import ArtifactStore
+
+            self.cache = StageCache(
+                disk_store=ArtifactStore(self.config.artifact_store_path)
+            )
+        else:
+            self.cache = StageCache()
         self.engine = PipelineEngine(
             extractor=self.extractor,
             subcarrier_selector=self.subcarrier_selector,
@@ -674,7 +695,33 @@ class WiMi:
             svm_c=self.config.svm_c,
             knn_k=self.config.knn_k,
         ).fit(self.database)
-        self._classifier_token = f"clf-{next(_CLASSIFIER_TOKENS)}"
+        self._classifier_token = self._compute_classifier_token()
+
+    def _compute_classifier_token(self) -> str:
+        """Content-derived token of the trained classifier.
+
+        Training is fully deterministic (seeded SMO on a fixed dataset),
+        so hashing the training data plus the classifier-shaping config
+        identifies the *model*: two processes that trained on the same
+        database -- or one that trained and one that loaded the result
+        from the registry -- produce the same token, which is what makes
+        persisted ``classify`` artifacts valid across processes.  Any
+        change to data or config changes the token, so cached labels can
+        never be served for a different model.
+        """
+        digest = hashlib.blake2b(digest_size=12)
+        digest.update(self.database.content_hash().encode())
+        digest.update(
+            repr(
+                (
+                    self.config.classifier,
+                    self.config.svm_c,
+                    self.config.knn_k,
+                    self._classifier.seed if self._classifier else 0,
+                )
+            ).encode()
+        )
+        return f"clf-{digest.hexdigest()}"
 
     @property
     def is_fitted(self) -> bool:
@@ -727,3 +774,197 @@ class WiMi:
         if self._classifier is None:
             raise RuntimeError("WiMi is not fitted; call fit() first")
         return self._classifier.predict(vectors)
+
+    # ------------------------------------------------------------------
+    # Model registry (warm-start serving)
+    # ------------------------------------------------------------------
+
+    def save_to_registry(
+        self,
+        registry=None,
+        name: str = "wimi",
+        metrics: dict | None = None,
+        promote: bool = True,
+    ) -> str:
+        """Persist the fitted model as a registry version; returns it.
+
+        The bundle captures everything a fresh process needs to serve
+        without retraining: reference Omega-bar dictionary, full config,
+        deployment calibration (pairs/subcarriers), the feature database
+        and the trained classifier.  The manifest records the
+        result-shaping config fingerprint, the training-set hash, the
+        classifier token and any caller-supplied ``metrics``.
+
+        Args:
+            registry: A :class:`repro.persist.ModelRegistry` or a path;
+                defaults to ``config.model_registry_path``.
+            name: Model name inside the registry.
+            metrics: Evaluation numbers to record in the manifest.
+            promote: Whether the new version becomes CURRENT.
+        """
+        if self._classifier is None:
+            raise RuntimeError("WiMi is not fitted; call fit() first")
+        registry = self._resolve_registry(registry)
+
+        db_meta, db_arrays = self.database.to_state()
+        clf_meta, clf_arrays = self._classifier.to_state()
+        refs = self.extractor.reference_omegas
+        meta = {
+            "reference_omegas": (
+                {str(k): float(v) for k, v in refs.items()}
+                if isinstance(refs, dict)
+                else [float(v) for v in refs]
+            ),
+            "config": dataclasses.asdict(self.config),
+            "calibration": {
+                "pair": list(self._pair) if self._pair else None,
+                "feature_pairs": (
+                    [list(p) for p in self._feature_pairs]
+                    if self._feature_pairs is not None
+                    else None
+                ),
+                "ranked_pairs": (
+                    [list(p) for p in self._ranked_pairs]
+                    if self._ranked_pairs is not None
+                    else None
+                ),
+                "coarse_pair": (
+                    list(self._coarse_pair) if self._coarse_pair else None
+                ),
+                "subcarriers": (
+                    list(self._subcarriers)
+                    if self._subcarriers is not None
+                    else None
+                ),
+                "subcarriers_by_pair": {
+                    f"{i},{j}": list(subcarriers)
+                    for (i, j), subcarriers in
+                    self._subcarriers_by_pair.items()
+                },
+            },
+            "database": db_meta,
+            "classifier": clf_meta,
+            "classifier_token": self._classifier_token,
+        }
+        arrays = {**db_arrays, **clf_arrays}
+        manifest = {
+            "config_fingerprint": _deployment_config_fingerprint(self.config),
+            "training_set_hash": self.database.content_hash(),
+            "classifier_token": self._classifier_token,
+            "materials": self.database.labels,
+            "num_entries": len(self.database),
+            "metrics": metrics or {},
+        }
+        return registry.save(
+            name, meta, arrays, manifest=manifest, promote=promote
+        )
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        name: str = "wimi",
+        version: str | None = None,
+        cache: StageCache | None = None,
+        config_overrides: dict | None = None,
+    ) -> "WiMi":
+        """Warm-start: rebuild a fitted pipeline from a registry bundle.
+
+        The returned instance serves identify requests immediately --
+        calibration, database and classifier are restored bit-exactly,
+        and the classifier token matches what a fresh training run on
+        the same data would produce, so persisted ``classify`` artifacts
+        resolve across the process boundary.
+
+        Args:
+            registry: A :class:`repro.persist.ModelRegistry` or a path.
+            name: Model name inside the registry.
+            version: Version to load (default: CURRENT).
+            cache: Optional stage cache (defaults to mounting the
+                restored config's ``artifact_store_path``).
+            config_overrides: Config fields to replace on load -- e.g.
+                repoint ``artifact_store_path`` on a machine with a
+                different filesystem layout.
+        """
+        from repro.persist.registry import ModelRegistry
+
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        meta, arrays, _manifest = registry.load(name, version)
+
+        config_dict = dict(meta["config"])
+        thresholds = config_dict.pop("quality_thresholds", None)
+        for field in ("subcarrier_override", "antenna_pair"):
+            if config_dict.get(field) is not None:
+                config_dict[field] = tuple(config_dict[field])
+        if config_overrides:
+            config_dict.update(config_overrides)
+            thresholds = config_dict.pop("quality_thresholds", thresholds)
+        if thresholds is not None and not isinstance(
+            thresholds, QualityThresholds
+        ):
+            thresholds = QualityThresholds(**thresholds)
+        config = WiMiConfig(
+            **config_dict,
+            **(
+                {"quality_thresholds": thresholds}
+                if thresholds is not None
+                else {}
+            ),
+        )
+
+        refs = meta["reference_omegas"]
+        reference_omegas = (
+            {str(k): float(v) for k, v in refs.items()}
+            if isinstance(refs, dict)
+            else [float(v) for v in refs]
+        )
+        wimi = cls(reference_omegas, config=config, cache=cache)
+
+        calibration = meta["calibration"]
+
+        def _tuple_or_none(value):
+            return tuple(int(v) for v in value) if value else None
+
+        wimi._pair = _tuple_or_none(calibration["pair"])
+        wimi._feature_pairs = (
+            [tuple(int(v) for v in p) for p in calibration["feature_pairs"]]
+            if calibration["feature_pairs"] is not None
+            else None
+        )
+        wimi._ranked_pairs = (
+            [tuple(int(v) for v in p) for p in calibration["ranked_pairs"]]
+            if calibration["ranked_pairs"] is not None
+            else None
+        )
+        wimi._coarse_pair = _tuple_or_none(calibration["coarse_pair"])
+        wimi._subcarriers = (
+            [int(k) for k in calibration["subcarriers"]]
+            if calibration["subcarriers"] is not None
+            else None
+        )
+        wimi._subcarriers_by_pair = {
+            tuple(int(v) for v in key.split(",")): [int(k) for k in subs]
+            for key, subs in calibration["subcarriers_by_pair"].items()
+        }
+
+        wimi.database = MaterialDatabase.from_state(meta["database"], arrays)
+        wimi._classifier = DatabaseClassifier.from_state(
+            meta["classifier"], arrays
+        )
+        wimi._classifier_token = str(meta["classifier_token"])
+        return wimi
+
+    def _resolve_registry(self, registry):
+        """Coerce a registry argument (or the configured path)."""
+        from repro.persist.registry import ModelRegistry
+
+        if isinstance(registry, ModelRegistry):
+            return registry
+        if registry is not None:
+            return ModelRegistry(registry)
+        if self.config.model_registry_path is None:
+            raise ValueError(
+                "no registry given and config.model_registry_path is unset"
+            )
+        return ModelRegistry(self.config.model_registry_path)

@@ -32,7 +32,15 @@ from repro.engine.artifacts import (
     session_fingerprint,
     trace_fingerprint,
 )
-from repro.engine.cache import StageCache, StageCounter, StageEvent, StageStats
+from repro.engine.cache import (
+    TIER_COMPUTE,
+    TIER_DISK,
+    TIER_MEMORY,
+    StageCache,
+    StageCounter,
+    StageEvent,
+    StageStats,
+)
 from repro.engine.graph import PipelineEngine
 from repro.engine.stages import (
     ALL_STAGES,
@@ -67,6 +75,9 @@ __all__ = [
     "StageSpec",
     "StageStats",
     "SubcarrierArtifact",
+    "TIER_COMPUTE",
+    "TIER_DISK",
+    "TIER_MEMORY",
     "config_fingerprint",
     "features_fingerprint",
     "session_fingerprint",

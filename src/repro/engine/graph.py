@@ -43,7 +43,7 @@ from repro.engine.artifacts import (
     session_fingerprint,
     trace_fingerprint,
 )
-from repro.engine.cache import StageCache, StageEvent
+from repro.engine.cache import TIER_COMPUTE, StageCache, StageEvent
 from repro.engine.stages import (
     AMPLITUDE_DENOISE,
     CLASSIFY,
@@ -118,9 +118,14 @@ class PipelineEngine:
         return key
 
     def _resolve(self, spec: StageSpec, key: str, compute: Callable[[], object]):
-        artifact, hit = self.cache.resolve(spec.name, key, compute)
+        artifact, tier = self.cache.resolve_tier(spec.name, key, compute)
         if self._hooks:
-            event = StageEvent(stage=spec.name, key=key, cache_hit=hit)
+            event = StageEvent(
+                stage=spec.name,
+                key=key,
+                cache_hit=tier != TIER_COMPUTE,
+                tier=tier,
+            )
             for hook in list(self._hooks):
                 hook(event)
         return artifact

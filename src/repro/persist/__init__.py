@@ -1,0 +1,31 @@
+"""Durable persistence: artifact store, serialization, model registry.
+
+This package is the disk half of the artifact lifecycle:
+
+* :mod:`repro.persist.serialize` -- framed npz/json payload codec for
+  the frozen :mod:`repro.engine.artifacts` dataclasses (no pickle, no
+  third-party dependencies).
+* :mod:`repro.persist.store` -- content-addressed on-disk store used as
+  the second tier behind :class:`repro.engine.StageCache`; atomic CAS
+  writes make it safe for spawn-based ``parallel_map`` fleets.
+* :mod:`repro.persist.registry` -- versioned model registry with
+  promote/rollback for trained classifier bundles, feature databases
+  and calibration profiles.
+"""
+
+from repro.persist.registry import ModelRegistry, RegistryError
+from repro.persist.serialize import (
+    IntegrityError,
+    deserialize_artifact,
+    serialize_artifact,
+)
+from repro.persist.store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "IntegrityError",
+    "ModelRegistry",
+    "RegistryError",
+    "deserialize_artifact",
+    "serialize_artifact",
+]

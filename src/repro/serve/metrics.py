@@ -267,9 +267,13 @@ class StageEventRecorder:
 
     Register on a :class:`repro.engine.PipelineEngine` via ``add_hook``;
     every execution/cache hit increments
-    ``stage.<name>.executions`` / ``stage.<name>.hits``.  The service
-    installs one per worker engine so cache behaviour under live
-    traffic shows up in the same snapshot as the request metrics.
+    ``stage.<name>.executions`` / ``stage.<name>.hits``, and the cache
+    tier that satisfied the resolution is broken out per stage
+    (``stage.<name>.memory_hits`` / ``stage.<name>.disk_hits``) and in
+    the service-wide aggregates ``cache.memory_hits`` /
+    ``cache.disk_hits`` / ``cache.misses``.  The service installs one
+    per worker engine so cache behaviour under live traffic shows up in
+    the same snapshot as the request metrics.
     """
 
     def __init__(self, registry: MetricsRegistry):
@@ -278,3 +282,10 @@ class StageEventRecorder:
     def __call__(self, event) -> None:
         kind = "hits" if event.cache_hit else "executions"
         self.registry.counter(f"stage.{event.stage}.{kind}").inc()
+        tier = getattr(event, "tier", "")
+        if event.cache_hit:
+            suffix = "disk_hits" if tier == "disk" else "memory_hits"
+            self.registry.counter(f"stage.{event.stage}.{suffix}").inc()
+            self.registry.counter(f"cache.{suffix}").inc()
+        else:
+            self.registry.counter("cache.misses").inc()

@@ -250,11 +250,17 @@ class IdentificationService:
             "requests.submitted", "requests.completed", "requests.failed",
             "requests.rejected", "requests.expired", "requests.retries",
             "faults.total",
+            "cache.memory_hits", "cache.disk_hits", "cache.misses",
         ):
             self.metrics.counter(name)
         self.metrics.histogram("latency_ms")
         self.metrics.histogram("queue_wait_ms")
         self.metrics.histogram("batch_size", BATCH_SIZE_BUCKETS)
+        # Durable tier visibility: 1 when the stage cache is backed by
+        # an on-disk artifact store (warm-start serving), else 0.
+        self.metrics.gauge("store.mounted").set(
+            0.0 if self.wimi.cache.disk_store is None else 1.0
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -409,7 +415,43 @@ class IdentificationService:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Service metrics plus the shared stage cache's hit rates."""
+        """Service metrics plus the shared stage cache's hit rates.
+
+        When the cache mounts a durable artifact store, its activity
+        counters and on-disk footprint are included under
+        ``artifact_store``.
+        """
         snap = self.metrics.snapshot()
         snap["stage_cache"] = self.wimi.cache.snapshot()
+        store = self.wimi.cache.disk_store
+        if store is not None and hasattr(store, "counters"):
+            snap["artifact_store"] = store.counters()
         return snap
+
+    # ------------------------------------------------------------------
+    # Warm start
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        name: str = "wimi",
+        version: str | None = None,
+        config: ServiceConfig | None = None,
+        runner=None,
+        metrics: MetricsRegistry | None = None,
+        config_overrides: dict | None = None,
+    ) -> "IdentificationService":
+        """A service warm-started from a model registry bundle.
+
+        The restored pipeline mounts the artifact store recorded in its
+        config (overridable via ``config_overrides``), so the first
+        identify request of a fresh process is served from persisted
+        artifacts with zero training or baseline-derivation stages.
+        """
+        wimi = WiMi.from_registry(
+            registry, name=name, version=version,
+            config_overrides=config_overrides,
+        )
+        return cls(wimi, config=config, runner=runner, metrics=metrics)

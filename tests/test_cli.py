@@ -117,3 +117,38 @@ class TestRobustnessBench:
     def test_default_output_is_the_committed_artifact(self):
         args = build_parser().parse_args(["robustness-bench"])
         assert args.robustness_output == "ROBUSTNESS_PR5.json"
+
+
+class TestPersistCommands:
+    def test_registered_outside_all(self):
+        assert "store" in COMMANDS
+        assert "warm-bench" in COMMANDS
+        assert not COMMANDS["store"].in_all
+        assert not COMMANDS["warm-bench"].in_all
+
+    def test_store_options_parsed(self):
+        args = build_parser().parse_args(
+            ["store", "--store-path", "/tmp/somewhere", "--gc"]
+        )
+        assert args.store_path == "/tmp/somewhere"
+        assert args.gc is True
+
+    def test_warm_bench_defaults_are_the_committed_artifact(self):
+        args = build_parser().parse_args(["warm-bench"])
+        assert args.store_path == ".wimi-store"
+        assert args.warm_output == "BENCH_PR6.json"
+        assert args.gc is False
+
+    def test_store_command_runs_on_empty_store(self, tmp_path, capsys):
+        assert main(["store", "--store-path", str(tmp_path / "empty")]) == 0
+        out = capsys.readouterr().out
+        assert "artifact store" in out
+        assert "0 entries" in out
+
+    def test_store_gc_reports_removals(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        (root / "objects").mkdir(parents=True)
+        (root / "objects" / "stale.tmp").write_bytes(b"crashed write")
+        assert main(["store", "--store-path", str(root), "--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "gc: removed 1 temp file(s)" in out

@@ -147,7 +147,15 @@ class TestStageCache:
         cache.resolve("s", "k", lambda: 1)
         cache.resolve("s", "k", lambda: 1)
         snap = cache.snapshot()
-        assert snap == {"s": {"hits": 1, "misses": 1, "hit_rate": 0.5}}
+        assert snap == {
+            "s": {
+                "hits": 1,
+                "memory_hits": 1,
+                "disk_hits": 0,
+                "misses": 1,
+                "hit_rate": 0.5,
+            }
+        }
 
 
 class TestStageCounter:

@@ -1,0 +1,190 @@
+"""ModelRegistry: versioning, promotion, rollback, and WiMi bundles."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.channel.materials import default_catalog
+from repro.core.config import WiMiConfig
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.csi.faults import flip_bits
+from repro.experiments.datasets import (
+    collect_dataset,
+    split_dataset,
+    standard_scene,
+)
+from repro.persist import ModelRegistry, RegistryError
+
+RNG = np.random.default_rng(11)
+
+
+def _bundle(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    meta = {"kind": "test-bundle", "seed": seed}
+    arrays = {"weights": rng.normal(size=(3, 4)), "bias": rng.normal(size=3)}
+    return meta, arrays
+
+
+class TestSaveLoad:
+    def test_save_load_is_bit_exact(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        meta, arrays = _bundle()
+        version = registry.save("m", meta, arrays, manifest={"accuracy": 0.9})
+        assert version == "v0001"
+        out_meta, out_arrays, manifest = registry.load("m")
+        assert out_meta == meta
+        for name in arrays:
+            assert np.array_equal(out_arrays[name], arrays[name])
+        assert manifest["accuracy"] == 0.9
+        assert manifest["version"] == "v0001"
+        assert manifest["bundle_bytes"] > 0
+        assert "created_at" in manifest
+
+    def test_versions_are_monotonic(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        assert registry.save("m", *_bundle(0)) == "v0001"
+        assert registry.save("m", *_bundle(1)) == "v0002"
+        assert registry.current_version("m") == "v0002"
+
+    def test_load_explicit_version(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", *_bundle(0))
+        registry.save("m", *_bundle(1))
+        meta, _, _ = registry.load("m", "v0001")
+        assert meta["seed"] == 0
+
+    def test_save_without_promote_keeps_current(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", *_bundle(0))
+        registry.save("m", *_bundle(1), promote=False)
+        assert registry.current_version("m") == "v0001"
+        assert len(registry.list_versions("m")) == 2
+
+    def test_load_missing_model_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(RegistryError, match="no current version"):
+            registry.load("ghost")
+        with pytest.raises(RegistryError, match="not found"):
+            registry.load("ghost", "v0001")
+
+    def test_invalid_model_names_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(RegistryError, match="invalid model name"):
+                registry.save(bad, *_bundle())
+
+    def test_corrupt_bundle_fails_verification(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", *_bundle())
+        bundle = tmp_path / "reg" / "m" / "versions" / "v0001" / "bundle.bin"
+        flip_bits(bundle, num_flips=12, seed=3)
+        with pytest.raises(RegistryError, match="failed verification"):
+            registry.load("m")
+
+    def test_listing(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("beta", *_bundle())
+        registry.save("alpha", *_bundle())
+        registry.save("alpha", *_bundle(1))
+        assert registry.list_models() == ["alpha", "beta"]
+        versions = [m["version"] for m in registry.list_versions("alpha")]
+        assert versions == ["v0001", "v0002"]
+        assert ModelRegistry(tmp_path / "empty").list_models() == []
+
+
+class TestPromoteRollback:
+    def test_promote_records_history(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", *_bundle(0))
+        registry.save("m", *_bundle(1))
+        state = json.loads((tmp_path / "reg" / "m" / "CURRENT").read_text())
+        assert state == {"version": "v0002", "history": ["v0001"]}
+
+    def test_promote_missing_version_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", *_bundle())
+        with pytest.raises(RegistryError, match="cannot promote"):
+            registry.promote("m", "v0099")
+
+    def test_promote_same_version_is_a_noop(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", *_bundle())
+        registry.promote("m", "v0001")
+        state = json.loads((tmp_path / "reg" / "m" / "CURRENT").read_text())
+        assert state["history"] == []
+
+    def test_rollback_restores_previous_and_keeps_data(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", *_bundle(0))
+        registry.save("m", *_bundle(1))
+        assert registry.rollback("m") == "v0001"
+        assert registry.current_version("m") == "v0001"
+        # Rollback is a pointer move: the newer bundle stays loadable.
+        meta, _, _ = registry.load("m", "v0002")
+        assert meta["seed"] == 1
+
+    def test_rollback_on_fresh_model_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", *_bundle())
+        with pytest.raises(RegistryError, match="no promotion history"):
+            registry.rollback("m")
+
+
+CATALOG = default_catalog()
+NAMES = ("pure_water", "oil")
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    """A fitted pipeline saved into a registry, plus its test sessions."""
+    materials = [CATALOG.get(n) for n in NAMES]
+    dataset = collect_dataset(
+        materials, scene=standard_scene("lab"), repetitions=4,
+        num_packets=8, seed=5,
+    )
+    train, test = split_dataset(dataset)
+    registry_path = tmp_path_factory.mktemp("registry")
+    config = WiMiConfig(model_registry_path=str(registry_path))
+    wimi = WiMi(theory_reference_omegas(materials), config)
+    wimi.fit(train)
+    wimi.save_to_registry(metrics={"train_sessions": len(train)})
+    return wimi, ModelRegistry(registry_path), test
+
+
+class TestWiMiBundles:
+    def test_restored_pipeline_predicts_identically(self, trained):
+        wimi, registry, test = trained
+        restored = WiMi.from_registry(registry)
+        assert restored.identify_batch(test) == wimi.identify_batch(test)
+
+    def test_manifest_carries_provenance(self, trained):
+        _, registry, _ = trained
+        manifest = registry.list_versions("wimi")[-1]
+        assert manifest["metrics"]["train_sessions"] > 0
+        assert sorted(manifest["materials"]) == sorted(NAMES)
+        assert manifest["config_fingerprint"]
+        assert manifest["training_set_hash"]
+        assert manifest["classifier_token"].startswith("clf-")
+
+    def test_restored_calibration_matches(self, trained):
+        wimi, registry, _ = trained
+        restored = WiMi.from_registry(registry)
+        assert restored.calibrated_pair == wimi.calibrated_pair
+        assert restored.calibrated_subcarriers == wimi.calibrated_subcarriers
+        assert restored.calibrated_coarse_pair == wimi.calibrated_coarse_pair
+
+    def test_rollback_serves_the_older_model(self, trained):
+        wimi, registry, test = trained
+        expected = wimi.identify_batch(test)
+        wimi.save_to_registry(metrics={"note": 2})  # v0002, promoted
+        registry.rollback("wimi")
+        restored = WiMi.from_registry(registry)
+        assert restored.identify_batch(test) == expected
+
+    def test_save_requires_a_registry_destination(self, trained):
+        wimi, _, _ = trained
+        bare = WiMi(wimi.extractor.reference_omegas, WiMiConfig())
+        with pytest.raises((ValueError, RuntimeError)):
+            bare.save_to_registry()

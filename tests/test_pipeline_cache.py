@@ -127,16 +127,33 @@ class TestConfigInvalidation:
         assert counter.executions.get("amplitude_denoise", 0) == 0
         assert counter.executions.get("phase_calibration", 0) == 0
 
-    def test_refit_invalidates_classification_only(self, dataset):
+    def test_refit_same_data_reuses_classifications(self, dataset):
+        # The classifier token is content-derived (training-set hash +
+        # classifier config): refitting on identical data yields the
+        # same token, so cached classifications stay valid -- the
+        # property the persistent store relies on across processes.
         wimi = WiMi(REFS)
         sessions = _flat(dataset)
         train, test = sessions[:-2], sessions[-2:]
         wimi.fit(train)
         first = [wimi.identify(s) for s in test]
         counter = _counted(wimi)
-        wimi.fit(train)  # new classifier token, same data
+        wimi.fit(train)  # same data, same config -> same token
         second = [wimi.identify(s) for s in test]
         assert first == second
+        assert counter.executions.get("amplitude_denoise", 0) == 0
+        assert counter.executions.get("classify", 0) == 0
+        assert counter.hits.get("classify", 0) == len(test)
+
+    def test_refit_on_new_data_invalidates_classification_only(self, dataset):
+        wimi = WiMi(REFS)
+        sessions = _flat(dataset)
+        train, test = sessions[:-2], sessions[-2:]
+        wimi.fit(train)
+        [wimi.identify(s) for s in test]
+        counter = _counted(wimi)
+        wimi.fit(train[:-1])  # different training set -> new token
+        [wimi.identify(s) for s in test]
         assert counter.executions.get("amplitude_denoise", 0) == 0
         assert counter.executions.get("classify", 0) == len(test)
 

@@ -1,0 +1,109 @@
+"""Warm start across a real process boundary.
+
+The acceptance criterion of the persistence layer: train in one process,
+kill it, and a *fresh* process mounting the same store + registry must
+answer identification requests bit-identically with **zero** pipeline
+stage executions (every resolution served from the disk tier).
+
+Two actual interpreter subprocesses are used -- not two objects in one
+process -- so the test also covers spawn-safe config restoration and
+cross-process validity of the content-addressed keys (including the
+deterministic classifier token).
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+#: Shared prelude: both processes deterministically rebuild the same
+#: sessions from the same seed, exactly like a replayed capture feed.
+_PRELUDE = """
+import json, sys
+from repro.channel.materials import default_catalog
+from repro.core.config import WiMiConfig
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.experiments.datasets import (
+    collect_dataset, split_dataset, standard_scene,
+)
+
+store_path, registry_path, out_path = sys.argv[1:4]
+catalog = default_catalog()
+materials = [catalog.get(n) for n in ("pure_water", "oil")]
+dataset = collect_dataset(
+    materials, scene=standard_scene("lab"), repetitions=4,
+    num_packets=8, seed=9,
+)
+train, test = split_dataset(dataset)
+refs = theory_reference_omegas(materials)
+"""
+
+_TRAIN = _PRELUDE + """
+config = WiMiConfig(
+    artifact_store_path=store_path, model_registry_path=registry_path,
+)
+wimi = WiMi(refs, config)
+wimi.fit(train)
+predictions = wimi.identify_batch(test)
+wimi.save_to_registry(metrics={"train_sessions": len(train)})
+json.dump({"predictions": predictions}, open(out_path, "w"))
+"""
+
+_SERVE = _PRELUDE + """
+from repro.engine import StageCounter
+
+wimi = WiMi.from_registry(registry_path)
+counter = StageCounter()
+wimi.engine.add_hook(counter)
+predictions = wimi.identify_batch(test)
+json.dump({
+    "predictions": predictions,
+    "executions": counter.executions,
+    "disk_hits": counter.disk_hits,
+}, open(out_path, "w"))
+"""
+
+
+def _run(script: str, *argv: str) -> None:
+    result = subprocess.run(
+        [sys.executable, "-c", script, *argv],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+@pytest.fixture(scope="module")
+def round_trip(tmp_path_factory):
+    root = tmp_path_factory.mktemp("warm")
+    store, registry = str(root / "store"), str(root / "registry")
+    train_out = root / "train.json"
+    serve_out = root / "serve.json"
+    _run(_TRAIN, store, registry, str(train_out))
+    # The training process is dead; the serving process starts cold.
+    _run(_SERVE, store, registry, str(serve_out))
+    return (
+        json.loads(train_out.read_text()),
+        json.loads(serve_out.read_text()),
+    )
+
+
+class TestWarmStartAcrossProcesses:
+    def test_predictions_are_bit_identical(self, round_trip):
+        trained, served = round_trip
+        assert served["predictions"] == trained["predictions"]
+        assert len(served["predictions"]) > 0
+
+    def test_fresh_process_executes_zero_stages(self, round_trip):
+        _, served = round_trip
+        assert served["executions"] == {}, (
+            f"warm process re-ran stages: {served['executions']}"
+        )
+
+    def test_fresh_process_serves_from_the_disk_tier(self, round_trip):
+        _, served = round_trip
+        # Every pipeline stage the request needed must appear as a disk
+        # hit -- nothing was in memory when the process booted.
+        assert sum(served["disk_hits"].values()) > 0
+        assert "classify" in served["disk_hits"]
