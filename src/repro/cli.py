@@ -329,6 +329,26 @@ def _serve_bench(args) -> str:
             f"  artifact store: {store['hits']} hits, {store['misses']} "
             f"misses, {store['writes']} writes, {store['corrupt']} corrupt"
         )
+    if args.json_out:
+        import json as json_module
+        from pathlib import Path
+
+        Path(args.json_out).write_text(
+            json_module.dumps(
+                {
+                    "schema": 1,
+                    "benchmark": "serve",
+                    "requests": len(workload),
+                    "workers": args.workers,
+                    "sequential_s": sequential_s,
+                    "served_s": served_s,
+                    "predictions_identical": served == sequential,
+                    "metrics": snap,
+                },
+                indent=2, sort_keys=True, default=str,
+            ) + "\n"
+        )
+        lines.append(f"  metrics snapshot written to {args.json_out}")
     return "\n".join(lines)
 
 
@@ -436,6 +456,34 @@ def _warm_bench(args) -> str:
     return report
 
 
+def _cluster_bench(args) -> str:
+    """``repro cluster-bench``: sharded worker processes vs the thread
+    service, plus the SIGKILL-a-worker survival check.
+
+    Runs the wide re-measurement workload through both serving stacks,
+    kills one worker process mid-load, and writes the committed JSON
+    artifact (``--cluster-output``).  ``--smoke`` shrinks the workload
+    to CI size (correctness and survival only; the throughput regime is
+    recorded in the report).
+    """
+    from repro.experiments import clusterbench
+
+    repetitions = (
+        clusterbench.SMOKE_REPETITIONS if args.smoke
+        else clusterbench.DEFAULT_REPETITIONS
+    )
+    results = clusterbench.run_cluster_bench(
+        seed=args.seed,
+        repetitions=repetitions,
+        workers=args.workers,
+        progress=lambda name: print(f"  {name}...", flush=True),
+    )
+    clusterbench.write_report(args.cluster_output, results)
+    report = clusterbench.render_report(results)
+    report += f"\n  report written to {args.cluster_output}"
+    return report
+
+
 class Command(NamedTuple):
     """One registered subcommand."""
 
@@ -469,6 +517,10 @@ COMMANDS: dict[str, Command] = {
     ),
     "serve-bench": Command(
         _serve_bench, "online identification service load benchmark",
+        in_all=False,
+    ),
+    "cluster-bench": Command(
+        _cluster_bench, "multi-process cluster vs single-process service",
         in_all=False,
     ),
     "perf-bench": Command(
@@ -530,6 +582,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--repeat", type=int, default=4,
         help="times each distinct session re-arrives (default 4)",
+    )
+    serve.add_argument(
+        "--json-out", default=None,
+        help="also write the full metrics snapshot as JSON to this path",
+    )
+    cluster = parser.add_argument_group("cluster-bench options")
+    cluster.add_argument(
+        "--cluster-output", default="BENCH_PR7.json",
+        help="cluster-bench JSON artifact to write (default BENCH_PR7.json)",
     )
     perf = parser.add_argument_group("perf-bench options")
     perf.add_argument(

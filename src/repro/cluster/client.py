@@ -1,0 +1,116 @@
+"""ClusterClient: the service-shaped front door of the cluster.
+
+Application code written against
+:class:`repro.serve.IdentificationService` -- ``submit() ->
+RequestHandle``, ``identify()``, context-manager lifecycle,
+``snapshot()`` -- works against a cluster by swapping the constructor:
+
+    with ClusterClient(registry_path, config=ClusterConfig(3)) as client:
+        handle = client.submit(session, timeout=1.0)
+        label = handle.result()
+
+The client is a thin facade over :class:`Orchestrator` (it owns one
+unless handed a running instance), so scripts can keep the simple shape
+while tests and benchmarks reach through ``client.orchestrator`` for
+supervision controls (kill a worker, inspect shard state).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cluster.orchestrator import ClusterConfig, Orchestrator
+from repro.serve.service import RequestHandle
+
+
+class ClusterClient:
+    """``IdentificationService``-shaped facade over an :class:`Orchestrator`.
+
+    Args:
+        registry_path: Model registry root (ignored when
+            ``orchestrator`` is given).
+        config: Cluster tuning (ignored when ``orchestrator`` is given).
+        model_name: Registry model name.
+        version: Registry version (None = CURRENT).
+        store_root: Per-worker artifact-store shard root.
+        orchestrator: Adopt an existing (possibly already running)
+            orchestrator instead of building one.
+    """
+
+    def __init__(
+        self,
+        registry_path: str | os.PathLike | None = None,
+        config: ClusterConfig | None = None,
+        model_name: str = "wimi",
+        version: str | None = None,
+        store_root: str | os.PathLike | None = None,
+        orchestrator: Orchestrator | None = None,
+    ):
+        if orchestrator is None:
+            if registry_path is None:
+                raise ValueError(
+                    "either registry_path or orchestrator is required"
+                )
+            orchestrator = Orchestrator(
+                registry_path,
+                config=config,
+                model_name=model_name,
+                version=version,
+                store_root=store_root,
+            )
+        self.orchestrator = orchestrator
+
+    # -- lifecycle (mirrors IdentificationService) ---------------------
+
+    def start(self) -> "ClusterClient":
+        """Boot the cluster (idempotent); blocks until workers beat."""
+        self.orchestrator.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Shut the cluster down; see :meth:`Orchestrator.stop`."""
+        self.orchestrator.stop(drain=drain, timeout=timeout)
+
+    def install_signal_handlers(
+        self, drain: bool = True, timeout: float = 30.0, resend: bool = True
+    ):
+        """SIGTERM/SIGINT -> graceful ``stop()`` (same hook the
+        in-process service exposes)."""
+        from repro.serve.signals import install_graceful_shutdown
+
+        return install_graceful_shutdown(
+            lambda: self.stop(drain=drain, timeout=timeout), resend=resend
+        )
+
+    def __enter__(self) -> "ClusterClient":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the cluster accepts traffic."""
+        return self.orchestrator.is_running
+
+    # -- request path --------------------------------------------------
+
+    def submit(self, session, timeout: float | None = None) -> RequestHandle:
+        """Enqueue one session; returns a :class:`RequestHandle`."""
+        return self.orchestrator.submit(session, timeout=timeout)
+
+    def submit_many(
+        self, sessions: list, timeout: float | None = None
+    ) -> list[RequestHandle]:
+        """Submit several sessions; aborts at the first full queue."""
+        return self.orchestrator.submit_many(sessions, timeout=timeout)
+
+    def identify(self, session, timeout: float | None = None) -> str:
+        """Synchronous convenience: submit and wait for the label."""
+        return self.orchestrator.identify(session, timeout=timeout)
+
+    # -- introspection -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Cluster + per-worker + merged metrics snapshot."""
+        return self.orchestrator.snapshot()

@@ -1,0 +1,614 @@
+"""Cluster orchestrator: spawn, route, supervise, restart, aggregate.
+
+The :class:`Orchestrator` owns the whole process topology:
+
+* **Spawn.**  One worker process per shard, started from the broker's
+  ``spawn`` context, each warm-booting
+  :meth:`repro.core.pipeline.WiMi.from_registry` against its own
+  artifact-store shard (``<store_root>/shard-<n>``).
+* **Route.**  ``submit()`` consistent-hashes the session's content
+  fingerprint onto the :class:`repro.cluster.broker.ShardRing`, so a
+  re-measured session always reaches the worker whose memory/disk
+  caches already hold its artifacts.  Backpressure is explicit: more
+  than ``queue_capacity`` unresolved requests raises
+  :class:`repro.serve.QueueFullError`, mirroring the in-process
+  service's front door.
+* **Supervise.**  Workers stream :class:`Heartbeat` beacons; a monitor
+  thread restarts any worker whose process died or whose beacons went
+  stale.  Requests that were in flight on the dead worker are
+  *redelivered* to its replacement (bounded by ``max_redeliveries``;
+  identification is deterministic and side-effect-free, so
+  at-least-once delivery plus first-reply-wins deduplication is
+  exact).  A shard that exhausts ``max_restarts`` is removed from the
+  ring -- its keys spill to the survivors (graceful degradation) --
+  and the cluster only stops accepting work when no shard remains.
+* **Aggregate.**  Each heartbeat carries a full
+  :class:`repro.serve.MetricsRegistry` snapshot;
+  :meth:`Orchestrator.snapshot` folds the latest per-worker snapshots
+  through :meth:`repro.serve.MetricsRegistry.merge` next to the
+  orchestrator's own cluster-level counters.
+
+Request resolution reuses :class:`repro.serve.RequestHandle`, so
+callers wait on cluster futures exactly like service futures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster.broker import (
+    Broker,
+    Envelope,
+    LocalQueueBroker,
+    Reply,
+    ShardRing,
+)
+from repro.cluster.worker import WorkerBoot, worker_main
+from repro.engine.artifacts import session_fingerprint
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.service import (
+    DeadlineExceededError,
+    QueueFullError,
+    RequestHandle,
+    ServeError,
+    ServiceStoppedError,
+)
+
+#: Supervision loop tick (seconds).
+_MONITOR_POLL_S = 0.02
+
+
+class ClusterError(ServeError):
+    """Cluster-level failure (boot, supervision, shard exhaustion)."""
+
+
+class RemoteError(ServeError):
+    """A worker-side failure relayed across the process boundary.
+
+    Attributes:
+        error_type: Exception class name raised in the worker.
+        worker: Id of the worker that failed the request.
+    """
+
+    def __init__(self, message: str, error_type: str = "", worker: str = ""):
+        super().__init__(message)
+        self.error_type = error_type
+        self.worker = worker
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tuning knobs of the serving cluster.
+
+    Attributes:
+        num_workers: Worker processes (= shards; the feature/artifact
+            space is partitioned across them).
+        queue_capacity: Cluster-wide unresolved-request cap; beyond it
+            ``submit`` raises :class:`repro.serve.QueueFullError`.
+        max_batch_size: Worker-side micro-batch limit.
+        max_wait_s: Worker-side batch-fill wait.
+        default_timeout_s: Deadline for submissions without their own.
+        heartbeat_interval_s: Worker beacon period.
+        heartbeat_timeout_s: Beacon silence after which a live process
+            is declared wedged and restarted.
+        max_restarts: Restarts per shard before it is abandoned.
+        max_redeliveries: Redeliveries per request before it fails.
+        shard_vnodes: Virtual nodes per shard on the hash ring.
+        boot_timeout_s: Longest to wait in :meth:`Orchestrator.start`
+            for every worker's first heartbeat.
+        throttle_s: Artificial per-request worker service time
+            (benchmark / chaos-test hook; 0 in production).
+    """
+
+    num_workers: int = 2
+    queue_capacity: int = 256
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+    default_timeout_s: float | None = None
+    heartbeat_interval_s: float = 0.1
+    heartbeat_timeout_s: float = 2.0
+    max_restarts: int = 3
+    max_redeliveries: int = 2
+    shard_vnodes: int = 64
+    boot_timeout_s: float = 60.0
+    throttle_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s "
+                f"({self.heartbeat_timeout_s} <= {self.heartbeat_interval_s})"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.max_redeliveries < 0:
+            raise ValueError(
+                f"max_redeliveries must be >= 0, got {self.max_redeliveries}"
+            )
+
+
+class _Pending:
+    """Parent-side bookkeeping of one unresolved request."""
+
+    __slots__ = ("envelope", "handle", "submitted_mono")
+
+    def __init__(self, envelope: Envelope, handle: RequestHandle):
+        self.envelope = envelope
+        self.handle = handle
+        self.submitted_mono = time.monotonic()
+
+
+class _WorkerSlot:
+    """One shard's process + supervision state."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.process = None
+        self.worker_id = ""
+        self.last_beat_mono: float | None = None
+        self.ready = False
+        self.restarts = 0
+        self.failed = False
+        self.boot_error: str | None = None
+        self.metrics: dict = {}
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class Orchestrator:
+    """Supervised multi-process sharded serving over one registry.
+
+    Args:
+        registry_path: Model registry root every worker boots from.
+        config: Cluster tuning; defaults suit tests.
+        model_name: Registry model name (default ``"wimi"``).
+        version: Registry version (default CURRENT).
+        store_root: Root under which per-worker artifact-store shards
+            live (``<store_root>/shard-<n>``); None leaves each
+            worker on whatever the restored bundle config says.
+        broker: Transport; defaults to a fresh
+            :class:`repro.cluster.broker.LocalQueueBroker`.
+    """
+
+    def __init__(
+        self,
+        registry_path: str | os.PathLike,
+        config: ClusterConfig | None = None,
+        model_name: str = "wimi",
+        version: str | None = None,
+        store_root: str | os.PathLike | None = None,
+        broker: Broker | None = None,
+    ):
+        self.config = config if config is not None else ClusterConfig()
+        self.registry_path = str(registry_path)
+        self.model_name = model_name
+        self.version = version
+        self.store_root = None if store_root is None else str(store_root)
+        self.broker = (
+            broker
+            if broker is not None
+            else LocalQueueBroker(self.config.num_workers)
+        )
+        self.metrics = MetricsRegistry()
+        for name in (
+            "requests.submitted", "requests.completed", "requests.failed",
+            "requests.rejected", "requests.expired",
+            "cluster.restarts", "cluster.redeliveries",
+            "cluster.duplicate_replies", "cluster.shards_failed",
+        ):
+            self.metrics.counter(name)
+        self.metrics.histogram("latency_ms")
+
+        self._slots = {
+            shard: _WorkerSlot(shard)
+            for shard in range(self.config.num_workers)
+        }
+        self._ring = ShardRing(
+            self._slots, vnodes=self.config.shard_vnodes
+        )
+        self._pending: dict[str, _Pending] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._spawned = itertools.count(0)
+        self._stop = threading.Event()
+        self._started = False
+        self._stopped = False
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, wait_ready: bool = True) -> "Orchestrator":
+        """Spawn the workers and the supervision threads (idempotent).
+
+        With ``wait_ready`` (default) blocks until every shard's worker
+        sent its first heartbeat, raising :class:`ClusterError` if any
+        shard cannot boot within ``config.boot_timeout_s``.
+        """
+        with self._lock:
+            if self._started:
+                return self
+            if self._stopped:
+                raise ServiceStoppedError("cluster cannot be restarted")
+            self._started = True
+        for slot in self._slots.values():
+            self._spawn(slot)
+        for target, name in (
+            (self._reply_loop, "repro-cluster-replies"),
+            (self._monitor_loop, "repro-cluster-monitor"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        if wait_ready:
+            self.wait_ready(self.config.boot_timeout_s)
+        return self
+
+    def wait_ready(self, timeout: float) -> None:
+        """Block until every live shard has heartbeated once."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                slots = list(self._slots.values())
+            live = [s for s in slots if not s.failed]
+            if not live:
+                errors = "; ".join(
+                    f"shard {s.shard}: {s.boot_error or 'unknown'}"
+                    for s in slots
+                )
+                raise ClusterError(f"no shard could boot ({errors})")
+            if all(s.ready for s in live):
+                return
+            time.sleep(_MONITOR_POLL_S)
+        raise ClusterError(
+            f"workers not ready within {timeout:.1f}s "
+            f"(ready: {[s.shard for s in self._slots.values() if s.ready]})"
+        )
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the cluster.
+
+        With ``drain`` (default) waits for unresolved requests to
+        finish before sending the poison pills; without it, pending
+        requests fail with :class:`repro.serve.ServiceStoppedError`.
+        """
+        with self._lock:
+            if not self._started or self._stopped:
+                self._stopped = True
+                return
+            self._stopped = True
+        deadline = time.monotonic() + timeout
+        if drain:
+            while self._pending and time.monotonic() < deadline:
+                time.sleep(_MONITOR_POLL_S)
+        self._stop.set()
+        for slot in self._slots.values():
+            if slot.alive:
+                self.broker.publish_shutdown(slot.shard, drain=drain)
+        for slot in self._slots.values():
+            if slot.process is not None:
+                slot.process.join(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+                if slot.process.is_alive():
+                    slot.process.kill()
+                    slot.process.join(timeout=5.0)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        # Catch the workers' final beats so snapshot() stays accurate
+        # after shutdown.
+        self._drain_heartbeats()
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for pending in leftovers:
+            pending.handle._fail(ServiceStoppedError("cluster stopped"))
+            self.metrics.counter("requests.failed").inc()
+        self.broker.close()
+
+    def __enter__(self) -> "Orchestrator":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the cluster accepts traffic."""
+        return (
+            self._started
+            and not self._stopped
+            and any(not s.failed for s in self._slots.values())
+        )
+
+    # ------------------------------------------------------------------
+    # Spawning / supervision
+    # ------------------------------------------------------------------
+
+    def _boot_for(self, slot: _WorkerSlot) -> WorkerBoot:
+        store_path = None
+        if self.store_root is not None:
+            store_path = str(Path(self.store_root) / f"shard-{slot.shard}")
+        return WorkerBoot(
+            registry_path=self.registry_path,
+            model_name=self.model_name,
+            version=self.version,
+            artifact_store_path=store_path,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_s,
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
+            throttle_s=self.config.throttle_s,
+        )
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        incarnation = next(self._spawned)
+        slot.worker_id = f"worker-{slot.shard}.{incarnation}"
+        slot.ready = False
+        slot.last_beat_mono = None
+        context = getattr(self.broker, "context", None)
+        if context is None:  # pragma: no cover - non-local broker
+            import multiprocessing
+
+            context = multiprocessing.get_context("spawn")
+        slot.process = context.Process(
+            target=worker_main,
+            args=(
+                slot.worker_id,
+                slot.shard,
+                self._boot_for(slot),
+                self.broker.endpoint(slot.shard),
+            ),
+            name=f"repro-cluster-{slot.worker_id}",
+            daemon=True,
+        )
+        slot.process.start()
+
+    def _reply_loop(self) -> None:
+        while not self._stop.is_set():
+            reply = self.broker.next_reply(timeout=_MONITOR_POLL_S)
+            if reply is not None:
+                self._resolve(reply)
+
+    def _resolve(self, reply: Reply) -> None:
+        with self._lock:
+            pending = self._pending.pop(reply.request_id, None)
+        if pending is None:
+            # A redelivered request answered twice (first reply won) or
+            # a reply racing stop(): count it, drop it.
+            self.metrics.counter("cluster.duplicate_replies").inc()
+            return
+        handle = pending.handle
+        handle.attempts = reply.attempts
+        handle.batch_size = reply.batch_size
+        handle.latency_s = time.monotonic() - pending.submitted_mono
+        self.metrics.histogram("latency_ms").observe(
+            handle.latency_s * 1000.0
+        )
+        if reply.ok:
+            self.metrics.counter("requests.completed").inc()
+            handle._resolve(reply.label)
+            return
+        if reply.error_type == "DeadlineExceededError":
+            self.metrics.counter("requests.expired").inc()
+            error: BaseException = DeadlineExceededError(reply.error)
+        else:
+            error = RemoteError(
+                f"{reply.error_type}: {reply.error} "
+                f"(worker {reply.worker})",
+                error_type=reply.error_type or "",
+                worker=reply.worker,
+            )
+        self.metrics.counter("requests.failed").inc()
+        handle._fail(error)
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(_MONITOR_POLL_S):
+            self._drain_heartbeats()
+            now = time.monotonic()
+            for slot in list(self._slots.values()):
+                if slot.failed or slot.process is None:
+                    continue
+                if not slot.alive:
+                    self._recover(slot, "process exited")
+                elif (
+                    slot.ready
+                    and slot.last_beat_mono is not None
+                    and now - slot.last_beat_mono
+                    > self.config.heartbeat_timeout_s
+                ):
+                    self._recover(slot, "heartbeats went stale")
+
+    def _drain_heartbeats(self) -> None:
+        while True:
+            beat = self.broker.next_heartbeat(timeout=0.0)
+            if beat is None:
+                return
+            slot = self._slots.get(beat.shard)
+            if slot is None or beat.worker != slot.worker_id:
+                continue  # beacon from a previous incarnation
+            if beat.state == "failed":
+                slot.boot_error = str(beat.metrics.get("error", "boot failed"))
+                continue  # liveness handled by process exit
+            slot.last_beat_mono = time.monotonic()
+            slot.ready = True
+            slot.metrics = beat.metrics
+
+    def _recover(self, slot: _WorkerSlot, reason: str) -> None:
+        """Restart a dead/wedged worker and redeliver its requests."""
+        if slot.process is not None and slot.process.is_alive():
+            slot.process.kill()  # wedged: reclaim the shard queue
+            slot.process.join(timeout=5.0)
+        # Fresh channels before the replacement spawns: the dead worker
+        # may have died holding queue locks, so its channels are junk.
+        salvaged = self.broker.reset_shard(slot.shard)
+        if slot.restarts >= self.config.max_restarts:
+            self._abandon(slot, reason, salvaged)
+            return
+        slot.restarts += 1
+        self.metrics.counter("cluster.restarts").inc()
+        self._spawn(slot)
+        self._redeliver(slot.shard, salvaged)
+
+    def _redeliver(self, shard: int, salvaged: list[Envelope]) -> None:
+        """Re-publish every unresolved envelope routed to ``shard``.
+
+        Salvaged envelopes (still queued, never picked up) are
+        re-published as-is; envelopes that were in flight on the dead
+        worker get their attempt counter bumped and fail permanently
+        once the redelivery budget is spent.  Duplicates are harmless:
+        identification is deterministic and the reply collector keeps
+        the first resolution.
+        """
+        salvaged_ids = {e.request_id for e in salvaged}
+        with self._lock:
+            in_flight = [
+                p for p in self._pending.values()
+                if p.envelope.shard == shard
+                and p.envelope.request_id not in salvaged_ids
+            ]
+        for envelope in salvaged:
+            self.broker.publish(envelope)
+        for pending in in_flight:
+            envelope = pending.envelope.redelivered()
+            if envelope.attempts > self.config.max_redeliveries:
+                with self._lock:
+                    self._pending.pop(envelope.request_id, None)
+                self.metrics.counter("requests.failed").inc()
+                pending.handle._fail(
+                    RemoteError(
+                        f"request {envelope.request_id} lost to "
+                        f"{envelope.attempts} worker crashes",
+                        error_type="RedeliveryExhausted",
+                    )
+                )
+                continue
+            pending.envelope = envelope
+            self.metrics.counter("cluster.redeliveries").inc()
+            self.broker.publish(envelope)
+
+    def _abandon(
+        self, slot: _WorkerSlot, reason: str, salvaged: list[Envelope]
+    ) -> None:
+        """Give a shard up after its restart budget; keys spill over."""
+        slot.failed = True
+        self.metrics.counter("cluster.shards_failed").inc()
+        with self._lock:
+            doomed = [
+                p for p in self._pending.values()
+                if p.envelope.shard == slot.shard
+            ]
+            survivors = len(self._ring.shards) > 1
+            if survivors:
+                self._ring.remove(slot.shard)
+        for pending in doomed:
+            with self._lock:
+                self._pending.pop(pending.envelope.request_id, None)
+            self.metrics.counter("requests.failed").inc()
+            pending.handle._fail(
+                ClusterError(
+                    f"shard {slot.shard} abandoned after "
+                    f"{slot.restarts} restart(s): {reason}"
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def submit(self, session, timeout: float | None = None) -> RequestHandle:
+        """Enqueue one session; returns a :class:`RequestHandle`.
+
+        Raises:
+            QueueFullError: More than ``config.queue_capacity``
+                requests are unresolved (explicit backpressure).
+            ServiceStoppedError: The cluster is not running.
+        """
+        if not self.is_running:
+            raise ServiceStoppedError(
+                "cluster is not running; use start() or a with-block"
+            )
+        effective = (
+            timeout if timeout is not None else self.config.default_timeout_s
+        )
+        handle = RequestHandle()
+        with self._lock:
+            if len(self._pending) >= self.config.queue_capacity:
+                self.metrics.counter("requests.rejected").inc()
+                raise QueueFullError(
+                    f"{len(self._pending)} requests in flight "
+                    f"(capacity {self.config.queue_capacity}); retry later"
+                )
+            shard = self._ring.route(session_fingerprint(session))
+            envelope = Envelope(
+                request_id=f"r{os.getpid()}-{next(self._ids)}",
+                session=session,
+                shard=shard,
+                deadline_ts=(
+                    None if effective is None else time.time() + effective
+                ),
+            )
+            self._pending[envelope.request_id] = _Pending(envelope, handle)
+        self.metrics.counter("requests.submitted").inc()
+        self.broker.publish(envelope)
+        return handle
+
+    def submit_many(
+        self, sessions: list, timeout: float | None = None
+    ) -> list[RequestHandle]:
+        """Submit several sessions; aborts at the first full queue."""
+        return [self.submit(session, timeout=timeout) for session in sessions]
+
+    def identify(self, session, timeout: float | None = None) -> str:
+        """Synchronous convenience: submit and wait for the label."""
+        return self.submit(session, timeout=timeout).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Cluster counters + per-worker and merged worker metrics."""
+        with self._lock:
+            slots = list(self._slots.values())
+            pending = len(self._pending)
+        worker_snaps = {
+            slot.worker_id: slot.metrics for slot in slots if slot.metrics
+        }
+        return {
+            "cluster": self.metrics.snapshot(),
+            "pending": pending,
+            "shards": {
+                slot.shard: {
+                    "worker": slot.worker_id,
+                    "alive": slot.alive,
+                    "ready": slot.ready,
+                    "restarts": slot.restarts,
+                    "failed": slot.failed,
+                }
+                for slot in slots
+            },
+            "workers": worker_snaps,
+            "merged": MetricsRegistry.merge(worker_snaps.values()),
+        }

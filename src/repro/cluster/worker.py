@@ -1,0 +1,331 @@
+"""Cluster worker process: registry warm boot + broker consume loop.
+
+``worker_main`` is the spawn entry point (module-level, so it and its
+arguments pickle across the process boundary).  Life of a worker:
+
+1. **Warm boot.**  Restore the fitted pipeline with
+   :meth:`repro.core.pipeline.WiMi.from_registry`, overriding
+   ``artifact_store_path`` to this worker's own shard of the artifact
+   store -- workers never share a disk tier, so there is no cross-shard
+   write contention and a restarted worker finds exactly its shard's
+   artifacts warm.
+2. **Serve.**  Drain the shard's request queue under the same
+   max-batch-size / max-wait micro-batching policy as the in-process
+   service, execute through ``identify_batch``, and answer every
+   envelope with a :class:`repro.cluster.broker.Reply`.  Fault
+   isolation mirrors :mod:`repro.serve.workers`: a failing batch falls
+   back to request-at-a-time execution so a poisoned session fails
+   alone; expired envelopes are answered with a
+   ``DeadlineExceededError``-typed reply without running the engine.
+3. **Report.**  A daemon thread emits a :class:`Heartbeat` with a full
+   :class:`repro.serve.MetricsRegistry` snapshot every interval -- the
+   orchestrator uses the stream both for health checking and for
+   cross-process metrics aggregation.
+4. **Exit.**  A :class:`repro.cluster.broker.Shutdown` pill (FIFO
+   behind all published work) ends the loop; SIGTERM/SIGINT flip the
+   worker into *drain* mode via the shared
+   :func:`repro.serve.signals.install_graceful_shutdown` hook -- it
+   keeps serving until its queue is empty, then exits, instead of
+   abandoning queued requests.
+
+A boot failure (missing registry, corrupt bundle) is reported as a
+``"failed"`` heartbeat before the process exits non-zero, so the
+orchestrator can distinguish "crashed while serving" (restart) from
+"cannot boot" (give the shard up after the restart budget).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.cluster.broker import (
+    BrokerEndpoint,
+    Envelope,
+    Heartbeat,
+    Reply,
+    Shutdown,
+)
+
+#: How often the consume loop re-checks for work / drain (seconds).
+_IDLE_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class WorkerBoot:
+    """Everything a worker process needs to boot (picklable).
+
+    Attributes:
+        registry_path: Model registry root (shared, read-only).
+        model_name: Registry model name.
+        version: Registry version (None = CURRENT).
+        artifact_store_path: This worker's artifact-store shard; None
+            keeps whatever the restored bundle config says.
+        max_batch_size: Micro-batch limit (mirrors the service knob).
+        max_wait_s: Longest to hold an incomplete batch open.
+        heartbeat_interval_s: Beacon period.
+        throttle_s: Artificial per-request service time (benchmark /
+            chaos-test hook; 0 in production).
+    """
+
+    registry_path: str
+    model_name: str = "wimi"
+    version: str | None = None
+    artifact_store_path: str | None = None
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+    heartbeat_interval_s: float = 0.1
+    throttle_s: float = 0.0
+
+
+class _WorkerRuntime:
+    """The serving half of a worker process (testable in-process)."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        shard: int,
+        boot: WorkerBoot,
+        endpoint: BrokerEndpoint,
+    ):
+        # Imports deferred to runtime so spawn start-up only pays for
+        # them in the child, after the fast pickling handshake.
+        from repro.core.pipeline import WiMi
+        from repro.serve.metrics import MetricsRegistry, StageEventRecorder
+
+        self.worker_id = worker_id
+        self.shard = shard
+        self.boot = boot
+        self.endpoint = endpoint
+        self.metrics = MetricsRegistry()
+        for name in (
+            "requests.completed", "requests.failed", "requests.expired",
+            "requests.redelivered",
+        ):
+            self.metrics.counter(name)
+        self.draining = threading.Event()
+        overrides = (
+            {"artifact_store_path": boot.artifact_store_path}
+            if boot.artifact_store_path is not None
+            else None
+        )
+        self.wimi = WiMi.from_registry(
+            boot.registry_path,
+            name=boot.model_name,
+            version=boot.version,
+            config_overrides=overrides,
+        )
+        self.wimi.engine.add_hook(StageEventRecorder(self.metrics))
+        self._beat_seq = 0
+
+    # ------------------------------------------------------------------
+
+    def beat(self, state: str) -> None:
+        """Send one heartbeat carrying the current metrics snapshot."""
+        self._beat_seq += 1
+        import os
+
+        self.endpoint.send_heartbeat(
+            Heartbeat(
+                worker=self.worker_id,
+                shard=self.shard,
+                pid=os.getpid(),
+                seq=self._beat_seq,
+                state=state,
+                metrics=self.metrics.snapshot(),
+            )
+        )
+
+    def _collect(self) -> tuple[list[Envelope], bool]:
+        """One micro-batch; returns (batch, keep_running)."""
+        first = self.endpoint.consume(timeout=_IDLE_POLL_S)
+        if first is None:
+            # Empty queue while draining means the drain is complete.
+            return [], not self.draining.is_set()
+        if isinstance(first, Shutdown):
+            return [], False
+        batch = [first]
+        deadline = time.monotonic() + self.boot.max_wait_s
+        while len(batch) < self.boot.max_batch_size:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            message = self.endpoint.consume(timeout=max(remaining, 0.0))
+            if message is None:
+                break
+            if isinstance(message, Shutdown):
+                # Serve what we already pulled, then stop.
+                self._process(batch)
+                return [], False
+            batch.append(message)
+        return batch, True
+
+    def serve_forever(self) -> None:
+        """Consume until a pill arrives or a signalled drain finishes."""
+        while True:
+            batch, keep_running = self._collect()
+            if batch:
+                self._process(batch)
+            if not keep_running:
+                return
+
+    # ------------------------------------------------------------------
+
+    def _process(self, batch: list[Envelope]) -> None:
+        now = time.time()
+        live = []
+        for envelope in batch:
+            if envelope.attempts > 0:
+                self.metrics.counter("requests.redelivered").inc()
+            self.metrics.histogram("queue_wait_ms").observe(
+                max(now - envelope.submitted_ts, 0.0) * 1000.0
+            )
+            if envelope.expired(now):
+                self.metrics.counter("requests.expired").inc()
+                self._reply_error(
+                    envelope,
+                    "DeadlineExceededError",
+                    "deadline passed while the request was queued",
+                    batch_size=len(batch),
+                )
+            else:
+                live.append(envelope)
+        if not live:
+            return
+        self.metrics.histogram("batch_size").observe(len(live))
+        if self.boot.throttle_s > 0.0:
+            time.sleep(self.boot.throttle_s * len(live))
+        started = time.monotonic()
+        try:
+            labels = self.wimi.identify_batch([e.session for e in live])
+            if len(labels) != len(live):
+                raise RuntimeError(
+                    f"engine returned {len(labels)} labels for "
+                    f"{len(live)} sessions"
+                )
+        except Exception:
+            # Batch path failed: isolate per request so a poisoned
+            # session fails alone (same contract as the thread pool).
+            for envelope in live:
+                self._run_isolated(envelope, len(live))
+            return
+        handle_ms = (time.monotonic() - started) * 1000.0 / len(live)
+        for envelope, label in zip(live, labels):
+            self._reply_label(
+                envelope, str(label), batch_size=len(live),
+                handle_ms=handle_ms,
+            )
+
+    def _run_isolated(self, envelope: Envelope, batch_size: int) -> None:
+        started = time.monotonic()
+        try:
+            label = self.wimi.identify(envelope.session)
+        except Exception as error:  # noqa: BLE001 - isolation boundary
+            self.metrics.counter("requests.failed").inc()
+            self.metrics.counter(f"faults.{type(error).__name__}").inc()
+            self._reply_error(
+                envelope, type(error).__name__, str(error),
+                batch_size=batch_size,
+            )
+            return
+        self._reply_label(
+            envelope, str(label), batch_size=batch_size,
+            handle_ms=(time.monotonic() - started) * 1000.0,
+        )
+
+    def _reply_label(
+        self, envelope: Envelope, label: str, batch_size: int,
+        handle_ms: float = 0.0,
+    ) -> None:
+        self.metrics.counter("requests.completed").inc()
+        self.metrics.histogram("handle_ms").observe(handle_ms)
+        self.endpoint.send_reply(
+            Reply(
+                request_id=envelope.request_id,
+                label=label,
+                worker=self.worker_id,
+                shard=self.shard,
+                attempts=envelope.attempts + 1,
+                batch_size=batch_size,
+                handle_ms=handle_ms,
+            )
+        )
+
+    def _reply_error(
+        self, envelope: Envelope, error_type: str, error: str,
+        batch_size: int,
+    ) -> None:
+        self.endpoint.send_reply(
+            Reply(
+                request_id=envelope.request_id,
+                error_type=error_type,
+                error=error,
+                worker=self.worker_id,
+                shard=self.shard,
+                attempts=envelope.attempts + 1,
+                batch_size=batch_size,
+            )
+        )
+
+
+def worker_main(
+    worker_id: str,
+    shard: int,
+    boot: WorkerBoot,
+    endpoint: BrokerEndpoint,
+) -> None:
+    """Spawn entry point of one cluster worker process."""
+    from repro.serve.signals import install_graceful_shutdown
+
+    try:
+        runtime = _WorkerRuntime(worker_id, shard, boot, endpoint)
+    except Exception as error:  # noqa: BLE001 - boot failure boundary
+        import os
+
+        endpoint.send_heartbeat(
+            Heartbeat(
+                worker=worker_id,
+                shard=shard,
+                pid=os.getpid(),
+                seq=0,
+                state="failed",
+                metrics={
+                    "error": f"{type(error).__name__}: {error}",
+                    "traceback": traceback.format_exc(limit=5),
+                },
+            )
+        )
+        raise SystemExit(1)
+
+    # SIGTERM/SIGINT flip the worker into drain mode: keep serving
+    # until the shard queue is empty, then exit -- never abandon
+    # queued requests.  Same hook the in-process service installs.
+    install_graceful_shutdown(runtime.draining.set, resend=False)
+
+    runtime.beat("serving")
+    stop_beats = threading.Event()
+
+    def heartbeat_loop() -> None:
+        while not stop_beats.wait(boot.heartbeat_interval_s):
+            state = "draining" if runtime.draining.is_set() else "serving"
+            try:
+                runtime.beat(state)
+            except Exception:  # pragma: no cover - torn-down queue
+                return
+
+    beater = threading.Thread(
+        target=heartbeat_loop, name=f"{worker_id}-heartbeat", daemon=True
+    )
+    beater.start()
+    try:
+        runtime.serve_forever()
+    finally:
+        stop_beats.set()
+        try:
+            # Final beat so the parent's last metrics snapshot includes
+            # everything this worker served.
+            runtime.beat("draining")
+        except Exception:  # pragma: no cover - torn-down queue
+            pass

@@ -37,9 +37,12 @@ from repro.serve.service import (
     ServiceConfig,
     ServiceStoppedError,
 )
+from repro.serve.signals import GracefulShutdown, install_graceful_shutdown
 from repro.serve.workers import WorkerPool, default_runner
 
 __all__ = [
+    "GracefulShutdown",
+    "install_graceful_shutdown",
     "BATCH_SIZE_BUCKETS",
     "Counter",
     "DeadlineExceededError",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 import threading
 from bisect import bisect_left
+from typing import Iterable
 
 #: Default latency buckets (milliseconds): roughly logarithmic from
 #: sub-millisecond cache hits to multi-second stragglers.
@@ -187,6 +188,68 @@ class Histogram:
         return data
 
 
+def _merge_histogram_snapshots(snapshots: list[dict]) -> dict:
+    """Merge several :meth:`Histogram.snapshot` dicts into one.
+
+    Bucket counts are summed per bound (the union of bounds is used, so
+    registries created with different bucket layouts still merge), the
+    mean is count-weighted, min/max are the extremes, and percentiles
+    are re-estimated from the merged buckets with the same
+    interpolation rule the live instrument uses.  Exactness matches the
+    instrument's own contract: estimates inside a bucket, exact p100.
+    """
+    live = [s for s in snapshots if s.get("count")]
+    if not live:
+        return {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "buckets": {},
+        }
+    count = sum(s["count"] for s in live)
+    total = sum(s["mean"] * s["count"] for s in live)
+    vmin = min(s["min"] for s in live)
+    vmax = max(s["max"] for s in live)
+    merged: dict = {}
+    for snap in live:
+        for bound, bucket_count in snap.get("buckets", {}).items():
+            key = math.inf if bound == "inf" else float(bound)
+            merged[key] = merged.get(key, 0) + bucket_count
+    bounds = sorted(b for b in merged if b != math.inf)
+    counts = [merged[b] for b in bounds] + [merged.get(math.inf, 0)]
+
+    def estimate(p: float) -> float:
+        rank = p / 100.0 * count
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            lower = bounds[index - 1] if index > 0 else min(
+                vmin, bounds[0] if bounds else vmin
+            )
+            upper = bounds[index] if index < len(bounds) else vmax
+            if cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return float(
+                    min(max(lower + fraction * (upper - lower), vmin), vmax)
+                )
+            cumulative += bucket_count
+        return float(vmax)
+
+    return {
+        "count": count,
+        "mean": total / count,
+        "min": vmin,
+        "max": vmax,
+        "p50": estimate(50),
+        "p95": estimate(95),
+        "p99": estimate(99),
+        "buckets": {
+            ("inf" if bound == math.inf else bound): merged[bound]
+            for bound in sorted(merged)
+            if merged[bound]
+        },
+    }
+
+
 class MetricsRegistry:
     """Named instruments plus snapshot/text rendering.
 
@@ -236,6 +299,40 @@ class MetricsRegistry:
             "gauges": {n: g.value for n, g in sorted(gauges.items())},
             "histograms": {
                 n: h.snapshot() for n, h in sorted(histograms.items())
+            },
+        }
+
+    @staticmethod
+    def merge(snapshots: Iterable[dict]) -> dict:
+        """Aggregate several :meth:`snapshot` dicts into one.
+
+        Counters sum (they are event counts), gauges sum (levels such
+        as ``workers.alive`` or ``inflight`` aggregate additively
+        across processes), and histograms are bucket-merged with
+        percentiles re-estimated from the combined buckets.  This is
+        how the cluster orchestrator folds per-worker-process
+        registries into one cross-process dashboard; it works on any
+        snapshot produced by this module, including ones round-tripped
+        through JSON (bucket keys become strings -- both forms are
+        accepted).
+        """
+        snapshots = list(snapshots)
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histogram_parts: dict[str, list[dict]] = {}
+        for snap in snapshots:
+            for name, value in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in snap.get("gauges", {}).items():
+                gauges[name] = gauges.get(name, 0.0) + value
+            for name, data in snap.get("histograms", {}).items():
+                histogram_parts.setdefault(name, []).append(data)
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": {
+                name: _merge_histogram_snapshots(parts)
+                for name, parts in sorted(histogram_parts.items())
             },
         }
 

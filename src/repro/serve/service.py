@@ -336,6 +336,25 @@ class IdentificationService:
                     )
                     self.metrics.counter("requests.failed").inc()
 
+    def install_signal_handlers(
+        self, drain: bool = True, timeout: float = 10.0, resend: bool = True
+    ):
+        """Drain instead of abandoning queued requests on SIGTERM/SIGINT.
+
+        Installs :func:`repro.serve.signals.install_graceful_shutdown`
+        so a polite ``kill`` runs ``stop(drain=..., timeout=...)``
+        before the process exits -- queued requests finish (drain) or
+        are failed explicitly with :class:`ServiceStoppedError` rather
+        than vanishing with the interpreter.  Returns the
+        :class:`repro.serve.signals.GracefulShutdown` handle (no-op off
+        the main thread; call ``restore()`` to uninstall).
+        """
+        from repro.serve.signals import install_graceful_shutdown
+
+        return install_graceful_shutdown(
+            lambda: self.stop(drain=drain, timeout=timeout), resend=resend
+        )
+
     def __enter__(self) -> "IdentificationService":
         return self.start()
 

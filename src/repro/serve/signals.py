@@ -1,0 +1,120 @@
+"""Graceful termination: run a drain callback on SIGTERM/SIGINT.
+
+A bare ``kill`` (or a container runtime's stop) delivers SIGTERM and the
+default handler tears the interpreter down immediately -- every request
+sitting in an :class:`repro.serve.IdentificationService` queue is
+abandoned mid-flight.  :func:`install_graceful_shutdown` replaces that
+with drain-then-exit semantics:
+
+* The first signal runs the cleanup callback exactly once (e.g.
+  ``service.stop(drain=True)``), restores the previous handlers, and --
+  unless ``resend=False`` -- re-delivers the signal so the process still
+  terminates with the conventional status.
+* A second signal during a slow drain hits the already-restored default
+  handler and force-kills: an operator is never locked out.
+
+The same hook serves both deployment shapes: the in-process service
+(:meth:`repro.serve.IdentificationService.install_signal_handlers`) and
+the cluster worker processes (:mod:`repro.cluster.worker`), whose
+cleanup flips the worker into drain mode instead of exiting outright.
+
+Signal handlers can only be installed from the main thread; elsewhere
+installation is a no-op (``installed`` stays False) so library code can
+call it unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Callable, Iterable
+
+#: Signals a polite terminator sends.
+DEFAULT_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class GracefulShutdown:
+    """Handle returned by :func:`install_graceful_shutdown`.
+
+    Attributes:
+        installed: Whether handlers were actually installed (False when
+            called off the main thread).
+        triggered: Whether the cleanup has run.
+    """
+
+    def __init__(
+        self,
+        cleanup: Callable[[], None],
+        signals: Iterable[int],
+        resend: bool,
+    ):
+        self._cleanup = cleanup
+        self._signals = tuple(signals)
+        self._resend = resend
+        self._previous: dict[int, object] = {}
+        self._lock = threading.Lock()
+        self.installed = False
+        self.triggered = False
+
+    # ------------------------------------------------------------------
+
+    def _install(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in self._signals:
+            self._previous[signum] = signal.signal(signum, self._handler)
+        self.installed = True
+
+    def restore(self) -> None:
+        """Put the previous handlers back (idempotent)."""
+        with self._lock:
+            previous, self._previous = self._previous, {}
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        self.installed = False
+
+    # ------------------------------------------------------------------
+
+    def _handler(self, signum, frame) -> None:
+        self.trigger(signum)
+
+    def trigger(self, signum: int | None = None) -> None:
+        """Run the shutdown sequence as if ``signum`` had arrived.
+
+        Exposed so the drain path is testable without delivering a real
+        signal to the test process.  Runs the cleanup at most once;
+        handlers are restored *before* the cleanup so a second signal
+        during a slow drain falls through to the default (force-kill)
+        behaviour.
+        """
+        with self._lock:
+            if self.triggered:
+                return
+            self.triggered = True
+        self.restore()
+        try:
+            self._cleanup()
+        finally:
+            if self._resend and signum is not None:
+                os.kill(os.getpid(), signum)
+
+
+def install_graceful_shutdown(
+    cleanup: Callable[[], None],
+    signals: Iterable[int] = DEFAULT_SIGNALS,
+    resend: bool = True,
+) -> GracefulShutdown:
+    """Install drain-then-exit handlers; returns the restorable handle.
+
+    Args:
+        cleanup: Called once on the first signal (or :meth:`trigger`).
+        signals: Which signals to intercept (default SIGTERM + SIGINT).
+        resend: After the cleanup, re-deliver the signal so the process
+            exits with the conventional termination status.  Pass False
+            when the caller's own control flow ends the process (the
+            cluster worker loop) or in tests.
+    """
+    handle = GracefulShutdown(cleanup, signals, resend)
+    handle._install()
+    return handle

@@ -1,0 +1,19 @@
+"""Shared pytest configuration.
+
+Tests marked ``@pytest.mark.slow`` (multi-second, multi-process chaos
+runs) are skipped unless ``REPRO_SLOW=1`` is set -- the tier-1 smoke
+pass (``pytest -x -q``) stays fast, and the CI cluster job opts in.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_SLOW") == "1":
+        return
+    skip = pytest.mark.skip(reason="slow test; set REPRO_SLOW=1 to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,321 @@
+"""Tests for the multi-process sharded serving cluster."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.channel.materials import default_catalog
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterError,
+    Envelope,
+    LocalQueueBroker,
+    Reply,
+    ShardRing,
+    Shutdown,
+)
+from repro.cluster.broker import _ring_hash
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.experiments.datasets import (
+    collect_dataset,
+    split_dataset,
+    standard_scene,
+)
+from repro.serve import QueueFullError, ServiceStoppedError
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+class TestShardRing:
+    def test_routing_is_deterministic(self):
+        ring = ShardRing([0, 1, 2])
+        assert all(
+            ring.route(f"key-{i}") == ring.route(f"key-{i}")
+            for i in range(100)
+        )
+
+    def test_virtual_nodes_balance_load(self):
+        ring = ShardRing([0, 1, 2], vnodes=64)
+        counts = {0: 0, 1: 0, 2: 0}
+        for i in range(3000):
+            counts[ring.route(f"key-{i}")] += 1
+        for count in counts.values():
+            assert 600 < count < 1500  # no shard starved or dominant
+
+    def test_remove_only_remaps_removed_shards_keys(self):
+        ring = ShardRing([0, 1, 2])
+        before = {f"key-{i}": ring.route(f"key-{i}") for i in range(1000)}
+        ring.remove(1)
+        for key, shard in before.items():
+            if shard != 1:
+                assert ring.route(key) == shard
+            else:
+                assert ring.route(key) in (0, 2)
+
+    def test_cannot_remove_last_shard(self):
+        ring = ShardRing([0])
+        with pytest.raises(ValueError, match="last shard"):
+            ring.remove(0)
+
+    def test_needs_a_shard(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ShardRing([])
+
+    def test_hash_is_stable_across_calls(self):
+        assert _ring_hash("abc") == _ring_hash("abc")
+        assert _ring_hash("abc") != _ring_hash("abd")
+
+
+# ----------------------------------------------------------------------
+# Messages / local broker
+# ----------------------------------------------------------------------
+
+
+class TestEnvelope:
+    def test_deadline_is_wall_clock(self):
+        fresh = Envelope("r1", None, 0, deadline_ts=time.time() + 60.0)
+        stale = Envelope("r2", None, 0, deadline_ts=time.time() - 1.0)
+        assert not fresh.expired()
+        assert stale.expired()
+        assert not Envelope("r3", None, 0).expired()
+
+    def test_redelivered_bumps_attempts(self):
+        envelope = Envelope("r1", None, 0)
+        again = envelope.redelivered()
+        assert envelope.attempts == 0
+        assert again.attempts == 1
+        assert again.request_id == "r1"
+
+    def test_reply_ok(self):
+        assert Reply("r1", label="oil").ok
+        assert not Reply("r1", error_type="ValueError", error="bad").ok
+
+
+class TestLocalQueueBroker:
+    def test_roundtrip_in_process(self):
+        broker = LocalQueueBroker(2)
+        try:
+            endpoint = broker.endpoint(1)
+            broker.publish(Envelope("r1", "session", 1))
+            message = endpoint.consume(timeout=5.0)
+            assert message.request_id == "r1"
+            endpoint.send_reply(Reply("r1", label="oil"))
+            reply = broker.next_reply(timeout=5.0)
+            assert reply.label == "oil"
+            assert broker.next_reply(timeout=0.0) is None
+        finally:
+            broker.close()
+
+    def test_shutdown_pill_is_fifo_behind_work(self):
+        broker = LocalQueueBroker(1)
+        try:
+            broker.publish(Envelope("r1", None, 0))
+            broker.publish_shutdown(0)
+            endpoint = broker.endpoint(0)
+            assert isinstance(endpoint.consume(timeout=5.0), Envelope)
+            assert isinstance(endpoint.consume(timeout=5.0), Shutdown)
+        finally:
+            broker.close()
+
+    def test_reset_shard_salvages_unconsumed_envelopes(self):
+        broker = LocalQueueBroker(1)
+        try:
+            broker.publish(Envelope("r1", None, 0))
+            broker.publish(Envelope("r2", None, 0))
+            time.sleep(0.1)  # let the feeder thread flush
+            salvaged = broker.reset_shard(0)
+            assert [e.request_id for e in salvaged] == ["r1", "r2"]
+        finally:
+            broker.close()
+
+    def test_reset_shard_replaces_every_channel(self):
+        """A crashed worker's queues must never be reused: the crash
+        can leave their cross-process locks held forever."""
+        broker = LocalQueueBroker(2)
+        try:
+            before = broker.endpoint(0)
+            broker.reset_shard(0)
+            after = broker.endpoint(0)
+            assert after._requests is not before._requests
+            assert after._replies is not before._replies
+            assert after._health is not before._health
+            # The untouched shard keeps its channels.
+            assert broker.endpoint(1)._requests is broker.endpoint(1)._requests
+            # The fresh channels work end to end.
+            broker.publish(Envelope("r1", None, 0))
+            message = after.consume(timeout=5.0)
+            after.send_reply(Reply(message.request_id, label="oil"))
+            assert broker.next_reply(timeout=5.0).request_id == "r1"
+        finally:
+            broker.close()
+
+    def test_replies_multiplex_across_shards(self):
+        broker = LocalQueueBroker(3)
+        try:
+            for shard in range(3):
+                broker.endpoint(shard).send_reply(Reply(f"r{shard}"))
+            got = {broker.next_reply(timeout=5.0).request_id
+                   for _ in range(3)}
+            assert got == {"r0", "r1", "r2"}
+            assert broker.next_reply(timeout=0.0) is None
+        finally:
+            broker.close()
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            LocalQueueBroker(0)
+
+
+# ----------------------------------------------------------------------
+# End to end
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory):
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in ("pure_water", "pepsi", "oil")]
+    dataset = collect_dataset(
+        materials, scene=standard_scene("lab"), repetitions=4,
+        num_packets=6, seed=2,
+    )
+    train, test = split_dataset(dataset)
+    wimi = WiMi(theory_reference_omegas(materials))
+    wimi.fit(train)
+    root = tmp_path_factory.mktemp("cluster")
+    registry = root / "registry"
+    wimi.save_to_registry(registry, name="wimi")
+    return wimi, test, registry, root
+
+
+@pytest.fixture(scope="module")
+def cluster(deployment):
+    _, _, registry, root = deployment
+    config = ClusterConfig(num_workers=2, boot_timeout_s=120.0)
+    client = ClusterClient(registry, config=config, store_root=root / "st")
+    client.start()
+    yield client
+    client.stop()
+
+
+class TestClusterServing:
+    def test_predictions_match_direct_engine(self, deployment, cluster):
+        wimi, test, _, _ = deployment
+        expected = [str(x) for x in wimi.identify_batch(test)]
+        handles = cluster.submit_many(list(test), timeout=60.0)
+        assert [h.result(timeout=120.0) for h in handles] == expected
+
+    def test_repeat_sessions_route_to_same_shard_and_hit_cache(
+        self, deployment, cluster
+    ):
+        _, test, _, _ = deployment
+        for _ in range(3):
+            cluster.identify(test[0], timeout=60.0)
+        time.sleep(0.3)  # let a heartbeat deliver fresh worker metrics
+        snap = cluster.snapshot()
+        merged = snap["merged"]["counters"]
+        assert merged.get("cache.memory_hits", 0) > 0
+
+    def test_snapshot_shape(self, cluster):
+        snap = cluster.snapshot()
+        assert set(snap) >= {"cluster", "shards", "workers", "merged"}
+        assert snap["cluster"]["counters"]["requests.completed"] > 0
+        assert len(snap["shards"]) == 2
+        for state in snap["shards"].values():
+            assert state["alive"] and state["ready"]
+
+    def test_backpressure_rejects_beyond_capacity(self, deployment):
+        _, test, registry, root = deployment
+        config = ClusterConfig(
+            num_workers=1, queue_capacity=2, boot_timeout_s=120.0,
+            throttle_s=0.2, max_batch_size=1,
+        )
+        with ClusterClient(registry, config=config) as client:
+            handles = client.submit_many(list(test[:2]), timeout=None)
+            with pytest.raises(QueueFullError):
+                client.submit(test[2])
+            for handle in handles:
+                handle.result(timeout=60.0)
+            # Capacity frees as requests resolve.
+            assert client.identify(test[2], timeout=60.0)
+
+    def test_submit_after_stop_rejected(self, deployment):
+        _, test, registry, _ = deployment
+        config = ClusterConfig(num_workers=1, boot_timeout_s=120.0)
+        client = ClusterClient(registry, config=config)
+        client.start()
+        client.stop()
+        with pytest.raises(ServiceStoppedError):
+            client.submit(test[0])
+
+    def test_boot_failure_surfaces_as_cluster_error(self, tmp_path):
+        config = ClusterConfig(
+            num_workers=1, max_restarts=0, boot_timeout_s=60.0,
+        )
+        client = ClusterClient(tmp_path / "missing-registry", config=config)
+        with pytest.raises(ClusterError):
+            client.start()
+        client.stop()
+
+
+@pytest.mark.slow
+class TestKillSurvival:
+    def test_sigkilled_worker_restarts_with_zero_lost_requests(
+        self, deployment
+    ):
+        wimi, test, registry, root = deployment
+        sessions = list(test) * 6
+        expected = [str(x) for x in wimi.identify_batch(sessions)]
+        config = ClusterConfig(
+            num_workers=2, queue_capacity=256, max_batch_size=2,
+            boot_timeout_s=120.0, throttle_s=0.05,
+        )
+        client = ClusterClient(
+            registry, config=config, store_root=root / "kill-st"
+        )
+        with client:
+            handles = client.submit_many(sessions, timeout=None)
+            time.sleep(0.2)  # throttle guarantees in-flight load
+            victim = client.orchestrator._slots[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            results = [h.result(timeout=300.0) for h in handles]
+            snap = client.snapshot()
+        counters = snap["cluster"]["counters"]
+        assert results == expected
+        assert counters["cluster.restarts"] >= 1
+        assert counters["requests.completed"] == len(sessions)
+        assert counters["requests.failed"] == 0
+
+    def test_restart_budget_exhaustion_degrades_to_survivors(
+        self, deployment
+    ):
+        wimi, test, registry, _ = deployment
+        config = ClusterConfig(
+            num_workers=2, max_restarts=0, boot_timeout_s=120.0,
+        )
+        client = ClusterClient(registry, config=config)
+        with client:
+            client.identify(test[0], timeout=60.0)  # cluster serves
+            victim = client.orchestrator._slots[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if client.snapshot()["shards"][0]["failed"]:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("shard was never abandoned")
+            # Survivor keeps answering every session, including ones
+            # that used to route to the dead shard.
+            expected = [str(x) for x in wimi.identify_batch(test)]
+            handles = client.submit_many(list(test), timeout=60.0)
+            assert [h.result(timeout=120.0) for h in handles] == expected
+            counters = client.snapshot()["cluster"]["counters"]
+            assert counters["cluster.shards_failed"] == 1

@@ -136,3 +136,67 @@ class TestStageEventRecorder:
         snap = reg.snapshot()["counters"]
         assert snap["stage.amplitude_denoise.executions"] == 1
         assert snap["stage.amplitude_denoise.hits"] == 2
+
+
+class TestMerge:
+    def _registry(self, completed, latencies):
+        reg = MetricsRegistry()
+        for _ in range(completed):
+            reg.counter("requests.completed").inc()
+        reg.gauge("queue_depth").set(completed)
+        hist = reg.histogram("latency_ms")
+        for value in latencies:
+            hist.observe(value)
+        return reg
+
+    def test_counters_and_gauges_sum(self):
+        a = self._registry(3, [1.0]).snapshot()
+        b = self._registry(5, [2.0]).snapshot()
+        merged = MetricsRegistry.merge([a, b])
+        assert merged["counters"]["requests.completed"] == 8
+        assert merged["gauges"]["queue_depth"] == 8
+
+    def test_histograms_combine_counts_and_extremes(self):
+        a = self._registry(1, [1.0, 5.0, 9.0]).snapshot()
+        b = self._registry(1, [120.0, 400.0]).snapshot()
+        merged = MetricsRegistry.merge([a, b])
+        hist = merged["histograms"]["latency_ms"]
+        assert hist["count"] == 5
+        assert hist["min"] == 1.0
+        assert hist["max"] == 400.0
+        assert hist["mean"] == pytest.approx((1 + 5 + 9 + 120 + 400) / 5)
+        assert hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]
+
+    def test_merged_percentiles_match_single_source(self):
+        # Merging one snapshot with empties must not distort it.
+        values = [float(v) for v in range(1, 200)]
+        single = self._registry(0, values).snapshot()
+        empty = MetricsRegistry()
+        empty.histogram("latency_ms")
+        merged = MetricsRegistry.merge([single, empty.snapshot()])
+        for quantile in ("p50", "p95", "p99"):
+            assert merged["histograms"]["latency_ms"][quantile] == (
+                pytest.approx(single["histograms"]["latency_ms"][quantile])
+            )
+
+    def test_merge_disjoint_names_unions(self):
+        a = MetricsRegistry()
+        a.counter("only.a").inc()
+        b = MetricsRegistry()
+        b.counter("only.b").inc(2)
+        merged = MetricsRegistry.merge([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {"only.a": 1, "only.b": 2}
+
+    def test_merge_empty_iterable(self):
+        merged = MetricsRegistry.merge([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merge_survives_json_round_trip(self):
+        # Cross-process snapshots arrive JSON-ified (string bucket keys).
+        import json
+
+        a = self._registry(2, [1.0, 50.0, 900.0]).snapshot()
+        round_tripped = json.loads(json.dumps(a))
+        merged = MetricsRegistry.merge([round_tripped])
+        assert merged["histograms"]["latency_ms"]["count"] == 3
+        assert merged["histograms"]["latency_ms"]["max"] == 900.0

@@ -294,3 +294,74 @@ class TestHandles:
         # At least the deep-queued requests were failed fast, none hang
         # forever, and nothing was silently dropped.
         assert len(outcomes) == 4
+
+
+class TestHandleEdges:
+    def test_exception_wait_timeout_raises(self, deployment):
+        """exception(timeout=...) must raise TimeoutError while the
+        request is unresolved, not return None (None means success)."""
+        wimi, _, test = deployment
+        release = threading.Event()
+
+        def stalled(view, sessions):
+            release.wait(timeout=30.0)
+            return default_runner(view, sessions)
+
+        with IdentificationService(
+            wimi, ServiceConfig(num_workers=1), runner=stalled
+        ) as service:
+            handle = service.submit(test[0])
+            with pytest.raises(TimeoutError):
+                handle.exception(timeout=0.01)
+            release.set()
+            assert handle.exception(timeout=30.0) is None
+            assert handle.result(timeout=1.0)
+
+    def test_exception_returns_failure_without_raising(self, deployment):
+        wimi, _, test = deployment
+
+        def poisoned(view, sessions):
+            raise ValueError("bad capture")
+
+        config = ServiceConfig(num_workers=1, retry_budget=0)
+        with IdentificationService(
+            wimi, config, runner=poisoned
+        ) as service:
+            handle = service.submit(test[0])
+            error = handle.exception(timeout=30.0)
+            assert isinstance(error, ValueError)
+            with pytest.raises(ValueError):
+                handle.result(timeout=1.0)
+
+    def test_stop_without_drain_cancels_queued_with_stop_error(
+        self, deployment
+    ):
+        """drain=False semantics: requests never picked up by a worker
+        are failed with ServiceStoppedError, promptly and explicitly."""
+        wimi, _, test = deployment
+        release = threading.Event()
+
+        def stalled(view, sessions):
+            release.wait(timeout=30.0)
+            return default_runner(view, sessions)
+
+        config = ServiceConfig(
+            num_workers=1, max_batch_size=1, dispatch_depth=1,
+            max_wait_s=0.0,
+        )
+        service = IdentificationService(wimi, config, runner=stalled)
+        service.start()
+        handles = [service.submit(test[0]) for _ in range(6)]
+        service.stop(drain=False, timeout=0.5)
+        release.set()
+        assert not service.is_running
+        stopped = 0
+        for handle in handles:
+            error = handle.exception(timeout=5.0)
+            if isinstance(error, ServiceStoppedError):
+                stopped += 1
+        # The stalled batch may finish or fail, but everything still
+        # queued behind it must be cancelled with the explicit error.
+        assert stopped >= len(handles) - 2
+        with pytest.raises(ServiceStoppedError):
+            service.submit(test[0])

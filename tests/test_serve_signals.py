@@ -1,0 +1,124 @@
+"""Tests for graceful SIGTERM/SIGINT shutdown (serve + cluster hook)."""
+
+import signal
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.serve.signals import (
+    DEFAULT_SIGNALS,
+    install_graceful_shutdown,
+)
+
+
+class TestGracefulShutdown:
+    def test_trigger_runs_cleanup_once(self):
+        calls = []
+        shutdown = install_graceful_shutdown(
+            lambda: calls.append(1), resend=False
+        )
+        try:
+            shutdown.trigger()
+            shutdown.trigger()
+        finally:
+            shutdown.restore()
+        assert calls == [1]
+
+    def test_signal_invokes_cleanup_and_restores_handlers(self):
+        calls = []
+        previous = signal.getsignal(signal.SIGTERM)
+        shutdown = install_graceful_shutdown(
+            lambda: calls.append(1), resend=False
+        )
+        try:
+            assert shutdown.installed
+            assert signal.getsignal(signal.SIGTERM) is not previous
+            # Deliver a real signal to this process; the handler must
+            # run the cleanup and put the previous handlers back first
+            # (so a second signal is not swallowed mid-cleanup).
+            signal.raise_signal(signal.SIGTERM)
+            assert calls == [1]
+            assert signal.getsignal(signal.SIGTERM) == previous
+        finally:
+            shutdown.restore()
+
+    def test_restore_is_idempotent(self):
+        shutdown = install_graceful_shutdown(lambda: None, resend=False)
+        shutdown.restore()
+        shutdown.restore()
+        for signum in DEFAULT_SIGNALS:
+            assert signal.getsignal(signum) == signal.SIG_DFL or callable(
+                signal.getsignal(signum)
+            )
+
+    def test_off_main_thread_install_is_noop(self):
+        results = {}
+
+        def target():
+            handler = install_graceful_shutdown(
+                lambda: results.setdefault("ran", True), resend=False
+            )
+            results["installed"] = handler.installed
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        assert results["installed"] is False
+
+    def test_cleanup_exception_does_not_block_restore(self):
+        def bad_cleanup():
+            raise RuntimeError("cleanup blew up")
+
+        shutdown = install_graceful_shutdown(bad_cleanup, resend=False)
+        with pytest.raises(RuntimeError):
+            shutdown.trigger()
+        assert not shutdown.installed
+
+
+SIGTERM_DRAIN_SCRIPT = """
+import signal, sys, threading, time
+from repro.channel.materials import default_catalog
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.experiments.datasets import (
+    collect_dataset, split_dataset, standard_scene,
+)
+from repro.serve import IdentificationService, ServiceConfig
+
+catalog = default_catalog()
+materials = [catalog.get(n) for n in ("pure_water", "pepsi")]
+dataset = collect_dataset(
+    materials, scene=standard_scene("lab"), repetitions=3,
+    num_packets=4, seed=5,
+)
+train, test = split_dataset(dataset)
+wimi = WiMi(theory_reference_omegas(materials))
+wimi.fit(train)
+service = IdentificationService(wimi, ServiceConfig(num_workers=1)).start()
+service.install_signal_handlers(drain=True, timeout=20.0, resend=False)
+handles = [service.submit(s) for s in test]
+threading.Timer(0.05, signal.raise_signal, args=(signal.SIGTERM,)).start()
+# Wait out the drain triggered by the timer's SIGTERM.
+deadline = time.monotonic() + 20.0
+while service.is_running and time.monotonic() < deadline:
+    time.sleep(0.01)
+resolved = [h.result(timeout=1.0) for h in handles]
+print("RESOLVED", len(resolved), flush=True)
+sys.exit(0)
+"""
+
+
+class TestServiceSignalIntegration:
+    def test_sigterm_drains_queued_requests(self):
+        """SIGTERM must run stop(drain=True): queued requests resolve
+        instead of being abandoned."""
+        result = subprocess.run(
+            [sys.executable, "-c", SIGTERM_DRAIN_SCRIPT],
+            capture_output=True, text=True, timeout=180,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "RESOLVED" in result.stdout
+        count = int(result.stdout.split("RESOLVED")[1].split()[0])
+        assert count > 0
