@@ -9,6 +9,7 @@ Usage::
     python -m repro bench-cache          # stage-cache hit rates
     python -m repro serve-bench          # online-service load benchmark
     python -m repro perf-bench --smoke   # perf-regression suite (CI size)
+    python -m repro stream-bench         # streaming vs batch latency
     python -m repro robustness-bench     # accuracy-under-fault sweeps
     python -m repro --version
 
@@ -378,6 +379,35 @@ def _perf_bench(args) -> str:
     return report
 
 
+def _stream_bench(args) -> str:
+    """``repro stream-bench``: streaming-vs-batch latency suite.
+
+    Replays test sessions packet-by-packet through the streaming
+    extractor, measuring time-to-first-estimate and the bounded
+    per-packet step against the trace-proportional batch identify
+    latency.  Writes/merges the JSON report (``--stream-output``) and
+    compares the gated timings against the committed baseline
+    (``--stream-baseline``), exiting non-zero when any regressed beyond
+    ``--stream-max-regression``.
+    """
+    from repro.experiments import streambench
+
+    mode = "smoke" if args.smoke else "full"
+    baseline = streambench.load_report(args.stream_baseline)
+    results = streambench.run_suite(
+        mode, progress=lambda name: print(f"  running {name}...", flush=True)
+    )
+    streambench.write_report(args.stream_output, mode, results)
+    regressions = streambench.compare_to_baseline(
+        results, baseline, mode, args.stream_max_regression
+    )
+    report = streambench.render_report(mode, results, regressions)
+    report += f"\n  report written to {args.stream_output}"
+    if regressions:
+        raise SystemExit(report)
+    return report
+
+
 def _robustness_bench(args) -> str:
     """``repro robustness-bench``: accuracy-under-fault sweeps.
 
@@ -527,6 +557,10 @@ COMMANDS: dict[str, Command] = {
         _perf_bench, "vectorised-kernel performance regression suite",
         in_all=False,
     ),
+    "stream-bench": Command(
+        _stream_bench, "streaming time-to-first-estimate vs batch latency",
+        in_all=False,
+    ),
     "robustness-bench": Command(
         _robustness_bench, "accuracy-under-fault sweeps (loss, dead antenna)",
         in_all=False,
@@ -609,6 +643,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-regression", type=float, default=2.0,
         help="fail when new_s exceeds this multiple of the baseline's "
         "(default 2.0; <= 0 disables the gate)",
+    )
+    stream = parser.add_argument_group("stream-bench options")
+    stream.add_argument(
+        "--stream-output", default="BENCH_PR8.json",
+        help="JSON report to write/merge (default BENCH_PR8.json)",
+    )
+    stream.add_argument(
+        "--stream-baseline", default="BENCH_PR8.json",
+        help="committed report to compare against (default BENCH_PR8.json)",
+    )
+    stream.add_argument(
+        "--stream-max-regression", type=float, default=3.0,
+        help="fail when a gated streaming timing exceeds this multiple of "
+        "the baseline's (default 3.0; <= 0 disables the gate)",
     )
     robust = parser.add_argument_group("robustness-bench options")
     robust.add_argument(

@@ -102,7 +102,7 @@ class _WorkerRuntime:
         self.metrics = MetricsRegistry()
         for name in (
             "requests.completed", "requests.failed", "requests.expired",
-            "requests.redelivered",
+            "requests.redelivered", "clock.skew_clamped",
         ):
             self.metrics.counter(name)
         self.draining = threading.Event()
@@ -174,15 +174,27 @@ class _WorkerRuntime:
     # ------------------------------------------------------------------
 
     def _process(self, batch: list[Envelope]) -> None:
-        now = time.time()
+        # Clock discipline: envelope timestamps (submitted_ts,
+        # deadline_ts) are wall-clock by the broker contract -- monotonic
+        # clocks are not comparable across processes -- so they are the
+        # only comparisons allowed to touch time.time().  Every duration
+        # measured entirely inside this process (batch-collect window,
+        # handle time) runs on time.monotonic(), so an NTP step cannot
+        # stretch or collapse it.
+        wall_now = time.time()
         live = []
         for envelope in batch:
             if envelope.attempts > 0:
                 self.metrics.counter("requests.redelivered").inc()
-            self.metrics.histogram("queue_wait_ms").observe(
-                max(now - envelope.submitted_ts, 0.0) * 1000.0
-            )
-            if envelope.expired(now):
+            wait_s = wall_now - envelope.submitted_ts
+            if wait_s < 0.0:
+                # Cross-host clock skew (or a step between submit and
+                # consume): count it so skew is diagnosable from the
+                # orchestrator's merged snapshot instead of invisible.
+                self.metrics.counter("clock.skew_clamped").inc()
+                wait_s = 0.0
+            self.metrics.histogram("queue_wait_ms").observe(wait_s * 1000.0)
+            if envelope.expired(wall_now):
                 self.metrics.counter("requests.expired").inc()
                 self._reply_error(
                     envelope,

@@ -14,6 +14,8 @@ The modules here implement the Fig. 5 workflow on top of the substrates:
 * :mod:`repro.core.antenna` -- antenna-pair selection (Sec. III-F).
 * :mod:`repro.core.database` -- the material feature database.
 * :mod:`repro.core.pipeline` -- :class:`WiMi`, the end-to-end system.
+* :mod:`repro.core.streaming` -- incremental (packet-at-a-time) feature
+  extraction with a converging Omega-bar estimate.
 """
 
 from repro.core.amplitude import AmplitudeProcessor
@@ -28,6 +30,11 @@ from repro.core.feature import (
 )
 from repro.core.phase import PhaseCalibrator
 from repro.core.pipeline import WiMi
+from repro.core.streaming import (
+    StreamingEstimate,
+    StreamingExtractor,
+    StreamingResult,
+)
 from repro.core.subcarrier import SubcarrierSelector
 
 __all__ = [
@@ -39,6 +46,9 @@ __all__ = [
     "PairStability",
     "PhaseCalibrator",
     "SessionFeatures",
+    "StreamingEstimate",
+    "StreamingExtractor",
+    "StreamingResult",
     "SubcarrierSelector",
     "WiMi",
     "WiMiConfig",

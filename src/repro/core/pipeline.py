@@ -776,6 +776,76 @@ class WiMi:
         return self._classifier.predict(vectors)
 
     # ------------------------------------------------------------------
+    # Streaming identification
+    # ------------------------------------------------------------------
+
+    def streaming_extractor(
+        self,
+        scene=None,
+        window_size: int | None = None,
+        hop: int | None = None,
+        material_name: str = "",
+    ):
+        """A :class:`repro.core.streaming.StreamingExtractor` bound to
+        this fitted pipeline.
+
+        Push CSI packets as they arrive (``push_baseline`` /
+        ``push_target``), poll :meth:`~repro.core.streaming
+        .StreamingExtractor.estimate` for the converging Omega-bar, and
+        :meth:`~repro.core.streaming.StreamingExtractor.finalize` for
+        the classified result.  See :mod:`repro.core.streaming` for the
+        window/overlap semantics and the batch-equivalence contract.
+        """
+        from repro.core.streaming import StreamingExtractor
+
+        return StreamingExtractor(
+            self,
+            scene=scene,
+            window_size=window_size,
+            hop=hop,
+            material_name=material_name,
+        )
+
+    def identify_streaming(
+        self,
+        session: CaptureSession,
+        chunk_size: int = 1,
+        window_size: int | None = None,
+        hop: int | None = None,
+    ) -> str:
+        """Identify a session by replaying it through the streaming path.
+
+        Functionally the streaming analogue of :meth:`identify`: the
+        baseline is pushed whole, the target in ``chunk_size``-packet
+        chunks, and the finalized label is returned.  The finalized
+        features are invariant to ``chunk_size`` (accumulators ingest
+        one packet at a time regardless); they differ from the batch
+        path only through the windowed amplitude denoise.
+        """
+        if self._classifier is None:
+            raise RuntimeError("WiMi is not fitted; call fit() first")
+        from repro.csi.model import CsiTrace
+
+        stream = self.streaming_extractor(
+            scene=session.scene,
+            window_size=window_size,
+            hop=hop,
+            material_name=session.material_name,
+        )
+        stream.push_baseline(session.baseline)
+        packets = list(session.target.packets)
+        step = max(int(chunk_size), 1)
+        for start in range(0, len(packets), step):
+            stream.push_target(
+                CsiTrace(
+                    packets=packets[start:start + step],
+                    carrier_hz=session.target.carrier_hz,
+                    label=session.target.label,
+                )
+            )
+        return stream.finalize().label
+
+    # ------------------------------------------------------------------
     # Model registry (warm-start serving)
     # ------------------------------------------------------------------
 

@@ -28,6 +28,12 @@ from repro.dsp.stats import (
     mad,
     robust_sigma,
 )
+from repro.dsp.streaming import (
+    OverlapWindowDenoiser,
+    RollingMad,
+    RunningCircularStats,
+    RunningVariance,
+)
 from repro.dsp.wavelet import (
     Wavelet,
     WaveletDecomposition,
@@ -44,6 +50,10 @@ from repro.dsp.wavelet_denoise import (
 )
 
 __all__ = [
+    "OverlapWindowDenoiser",
+    "RollingMad",
+    "RunningCircularStats",
+    "RunningVariance",
     "SpatiallySelectiveDenoiser",
     "Wavelet",
     "WaveletDecomposition",

@@ -109,6 +109,18 @@ def features_fingerprint(features) -> str:
     return h.hexdigest()
 
 
+def array_fingerprint(array: np.ndarray) -> str:
+    """Content hash of a bare array (shape + dtype + bytes).
+
+    Used by partial-input stages (streaming windows) whose inputs are
+    slabs of a still-growing trace rather than finished objects a
+    fingerprint could be pinned on.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    _hash_array(h, np.asarray(array))
+    return h.hexdigest()
+
+
 def make_key(*parts) -> str:
     """Join key parts into one cache key string."""
     return "|".join(str(p) for p in parts)
@@ -165,6 +177,23 @@ class DenoisedTraceArtifact(Artifact):
         amplitudes: Denoised amplitude cube, shape ``(M, K, A)``.
     """
 
+    amplitudes: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "amplitudes", _freeze(self.amplitudes))
+
+
+@dataclass(frozen=True)
+class StreamWindowArtifact(Artifact):
+    """Output of ``stream_window_denoise``: cleaned rows of one window.
+
+    Attributes:
+        start: Absolute packet index of the window's first row.
+        amplitudes: Denoised ``(window, channels)`` rows; NaN where a
+            channel column was dead for the whole window.
+    """
+
+    start: int
     amplitudes: np.ndarray
 
     def __post_init__(self) -> None:

@@ -29,14 +29,17 @@ from repro.core.subcarrier import SubcarrierSelector
 from repro.csi.collector import CaptureSession
 from repro.csi.model import CsiTrace
 from repro.csi.quality import TraceQualityReport, assess_trace
+from repro.dsp.streaming import denoise_window
 from repro.engine.artifacts import (
     ClassificationArtifact,
     DenoisedTraceArtifact,
     FeatureArtifact,
     ObservablesArtifact,
     PhaseArtifact,
+    StreamWindowArtifact,
     SubcarrierArtifact,
     TraceQualityArtifact,
+    array_fingerprint,
     config_fingerprint,
     features_fingerprint,
     make_key,
@@ -50,6 +53,7 @@ from repro.engine.stages import (
     FEATURE_EXTRACTION,
     OBSERVABLES,
     PHASE_CALIBRATION,
+    STREAM_WINDOW_DENOISE,
     SUBCARRIER_SELECTION,
     TRACE_QUALITY,
     StageSpec,
@@ -178,6 +182,40 @@ class PipelineEngine:
             return DenoisedTraceArtifact(key=key, amplitudes=cleaned)
 
         return self._resolve(AMPLITUDE_DENOISE, key, compute)
+
+    def stream_window_denoise(
+        self, rows: np.ndarray, start: int
+    ) -> StreamWindowArtifact:
+        """Denoised amplitude rows of one streaming window.
+
+        ``rows`` is the raw ``(window, channels)`` |H| slab whose first
+        row sits at absolute packet index ``start``.  The key is the
+        slab's content hash plus the start index (a partial-input
+        artifact: the trace is still growing, so there is no finished
+        object to fingerprint) -- replaying the same stream resolves
+        every window from cache regardless of how the packets were
+        chunked on the way in.
+        """
+        start = int(start)
+        key = make_key(
+            array_fingerprint(rows),
+            start,
+            self._config_key(STREAM_WINDOW_DENOISE),
+        )
+
+        def compute() -> StreamWindowArtifact:
+            if self.config.denoise_amplitude:
+                cleaned = denoise_window(
+                    rows, self.extractor.amplitude.denoiser
+                )
+            else:
+                # Fig. 14 ablation: raw amplitudes straight through.
+                cleaned = np.asarray(rows, dtype=float).copy()
+            return StreamWindowArtifact(
+                key=key, start=start, amplitudes=cleaned
+            )
+
+        return self._resolve(STREAM_WINDOW_DENOISE, key, compute)
 
     def observables(
         self, session: CaptureSession, pair: tuple[int, int]

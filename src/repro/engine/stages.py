@@ -65,6 +65,20 @@ AMPLITUDE_DENOISE = StageSpec(
     description="denoised |H| cube of one trace",
 )
 
+#: Incremental sibling of ``amplitude_denoise``: one fixed-size packet
+#: window of raw amplitude rows, denoised as soon as the window
+#: completes.  Partial-input stage: the key hashes the window's *rows*
+#: plus its absolute start index, so a replayed stream (same packets,
+#: any chunking) resolves every window from cache while a divergent
+#: stream misses from the first differing window.
+STREAM_WINDOW_DENOISE = StageSpec(
+    name="stream_window_denoise",
+    config_fields=AMPLITUDE_DENOISE.config_fields
+    + ("stream_window_size", "stream_hop"),
+    inputs=(),
+    description="denoised |H| rows of one streaming window",
+)
+
 #: Eq. 19 observable assembled from the denoised cubes of both traces.
 OBSERVABLES = StageSpec(
     name="observables",
@@ -102,6 +116,7 @@ ALL_STAGES: tuple[StageSpec, ...] = (
     TRACE_QUALITY,
     PHASE_CALIBRATION,
     AMPLITUDE_DENOISE,
+    STREAM_WINDOW_DENOISE,
     OBSERVABLES,
     SUBCARRIER_SELECTION,
     FEATURE_EXTRACTION,

@@ -1,0 +1,289 @@
+"""Streaming-vs-batch latency harness behind ``repro stream-bench``.
+
+The batch pipeline cannot produce *anything* before the full trace is
+captured and denoised, so its identify latency is proportional to the
+trace length.  The streaming path
+(:class:`repro.core.streaming.StreamingExtractor`) emits its first
+Omega-bar estimate after one denoise window (``stream_window_size``
+packets) and pays a bounded per-packet cost after that, so what this
+bench measures per trace length is:
+
+* ``time_to_first_estimate_s`` -- compute from the first *target*
+  packet until ``estimate()`` first reports a finite Omega-bar.  The
+  baseline trace is captured (empty beaker) before the target session
+  starts, so the streaming path has digested it off the critical path
+  by then; its ingest cost is reported separately as
+  ``baseline_ingest_s``.  The batch number it is compared against is
+  likewise the compute after all packets are present;
+* ``last_window_ms`` -- the worst single-packet step (push + poll),
+  i.e. the bounded incremental latency;
+* ``finalize_s`` -- tail window + quality gate + classify at the end;
+* ``batch_identify_s`` -- the cold full-trace ``identify`` the
+  streaming path replaces.
+
+Every run also verifies the acceptance contract: the finalized
+streaming prediction equals the batch prediction on the same session.
+
+Report format follows :mod:`repro.experiments.perfbench`: suites are
+stored side by side in :data:`DEFAULT_OUTPUT` (committed at the repo
+root) and a later run -- e.g. the CI ``perf-smoke`` job running
+``repro stream-bench --smoke`` -- fails when a gated timing exceeds
+``max_regression`` times the committed value.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.channel.materials import default_catalog
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.csi.collector import DataCollector, SessionConfig
+from repro.engine.cache import StageCache
+from repro.experiments.datasets import (
+    collect_dataset,
+    split_dataset,
+    standard_scene,
+)
+
+#: Report written by ``repro stream-bench`` and committed as the baseline.
+DEFAULT_OUTPUT = "BENCH_PR8.json"
+
+#: Default regression gate: fail when a gated timing exceeds this
+#: multiple of the committed baseline's.  Looser than perf-bench's 2.0
+#: because the gated quantities are millisecond-scale.
+DEFAULT_MAX_REGRESSION = 3.0
+
+#: Timings the regression gate checks (per trace length).
+GATED_FIELDS = ("time_to_first_estimate_s", "finalize_s")
+
+#: Per-suite workload sizes.  Smoke is sized for CI; full is the
+#: committed reference workload sweeping trace lengths so the
+#: trace-proportional batch latency is visible against the bounded
+#: streaming one.
+_SIZES = {
+    "smoke": {
+        "train_repetitions": 4,
+        "train_packets": 8,
+        "trace_lengths": (48,),
+        "repeats": 3,
+    },
+    "full": {
+        "train_repetitions": 6,
+        "train_packets": 10,
+        "trace_lengths": (60, 120, 200),
+        "repeats": 3,
+    },
+}
+
+
+def _workload(sizes: dict):
+    """A fitted pipeline plus a collector for test traces of any length."""
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in ("pure_water", "pepsi", "oil")]
+    scene = standard_scene("lab")
+    dataset = collect_dataset(
+        materials,
+        scene=scene,
+        repetitions=sizes["train_repetitions"],
+        num_packets=sizes["train_packets"],
+        seed=0,
+    )
+    train, _ = split_dataset(dataset)
+    wimi = WiMi(theory_reference_omegas(materials))
+    wimi.fit(train)
+    collector = DataCollector(scene, rng=1)
+    return wimi, collector, catalog.get("pepsi")
+
+
+def _stream_once(wimi: WiMi, session) -> dict:
+    """One cold streaming replay; returns its timing breakdown."""
+    view = wimi.clone_view(cache=StageCache())
+    stream = view.streaming_extractor(
+        scene=session.scene, material_name=session.material_name
+    )
+    t_base = time.perf_counter()
+    stream.push_baseline(session.baseline)
+    baseline_ingest_s = time.perf_counter() - t_base
+    t0 = time.perf_counter()
+    first_s = None
+    first_packets = 0
+    worst_step_s = 0.0
+    for index, packet in enumerate(session.target.packets):
+        t_step = time.perf_counter()
+        stream.push_target(packet)
+        estimate = stream.estimate()
+        worst_step_s = max(worst_step_s, time.perf_counter() - t_step)
+        if first_s is None and estimate.ready:
+            first_s = time.perf_counter() - t0
+            first_packets = index + 1
+    t_fin = time.perf_counter()
+    result = stream.finalize()
+    finalize_s = time.perf_counter() - t_fin
+    return {
+        "baseline_ingest_s": baseline_ingest_s,
+        "time_to_first_estimate_s": (
+            first_s if first_s is not None else float("inf")
+        ),
+        "first_estimate_packets": first_packets,
+        "last_window_ms": worst_step_s * 1000.0,
+        "finalize_s": finalize_s,
+        "stream_total_s": time.perf_counter() - t0,
+        "label": result.label,
+        "confidence": result.estimate.confidence,
+    }
+
+
+def bench_length(wimi: WiMi, collector, material, length: int,
+                 repeats: int) -> dict:
+    """Streaming vs batch on one trace length (best-of ``repeats``)."""
+    session = collector.collect(
+        material, SessionConfig(num_packets=length)
+    )
+
+    def run_batch() -> str:
+        return wimi.clone_view(cache=StageCache()).identify(session)
+
+    batch_label = run_batch()
+    batch_s = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        run_batch()
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    best: dict | None = None
+    for _ in range(max(1, repeats)):
+        attempt = _stream_once(wimi, session)
+        if (
+            best is None
+            or attempt["time_to_first_estimate_s"]
+            < best["time_to_first_estimate_s"]
+        ):
+            best = attempt
+    assert best is not None
+    first = best["time_to_first_estimate_s"]
+    return {
+        "packets": length,
+        "batch_identify_s": batch_s,
+        "baseline_ingest_s": best["baseline_ingest_s"],
+        "time_to_first_estimate_s": first,
+        "first_estimate_packets": best["first_estimate_packets"],
+        "last_window_ms": best["last_window_ms"],
+        "finalize_s": best["finalize_s"],
+        "stream_total_s": best["stream_total_s"],
+        "speedup_first_estimate": (
+            batch_s / first if first > 0 else float("inf")
+        ),
+        "predictions_identical": best["label"] == batch_label,
+        "label": best["label"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite driver, report I/O and baseline comparison
+# ----------------------------------------------------------------------
+
+
+def run_suite(mode: str = "full", progress=None) -> dict:
+    """Run the streaming bench at ``mode`` ("smoke" or "full") sizes."""
+    if mode not in _SIZES:
+        raise ValueError(f"mode must be one of {sorted(_SIZES)}, got {mode!r}")
+    sizes = _SIZES[mode]
+    wimi, collector, material = _workload(sizes)
+    results = {}
+    for length in sizes["trace_lengths"]:
+        name = f"stream_len{length}"
+        if progress is not None:
+            progress(name)
+        results[name] = bench_length(
+            wimi, collector, material, length, sizes["repeats"]
+        )
+    return results
+
+
+def load_report(path: str | Path) -> dict | None:
+    """The committed report at ``path``, or None when absent/unreadable."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return report if isinstance(report.get("suites"), dict) else None
+
+
+def write_report(path: str | Path, mode: str, results: dict) -> dict:
+    """Write/merge the report at ``path`` and return it.
+
+    Suites are stored side by side so a smoke-only run does not clobber
+    the committed full-suite timings.
+    """
+    report = load_report(path) or {"schema": 1, "suites": {}}
+    report["suites"][mode] = results
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def compare_to_baseline(
+    results: dict,
+    baseline: dict | None,
+    mode: str,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[tuple[str, float]]:
+    """Gated timings that regressed beyond ``max_regression``.
+
+    Returns ``("bench.field", ratio)`` pairs; empty when there is no
+    committed baseline for ``mode`` (first run) or nothing regressed.
+    """
+    if baseline is None or max_regression <= 0:
+        return []
+    committed = baseline.get("suites", {}).get(mode, {})
+    regressions = []
+    for name, current in results.items():
+        reference = committed.get(name)
+        if not reference:
+            continue
+        for field in GATED_FIELDS:
+            committed_s = reference.get(field, 0)
+            if not committed_s or committed_s <= 0:
+                continue
+            ratio = current[field] / committed_s
+            if ratio > max_regression:
+                regressions.append((f"{name}.{field}", ratio))
+    return regressions
+
+
+def render_report(
+    mode: str, results: dict, regressions: list[tuple[str, float]]
+) -> str:
+    """Human-readable summary of one suite run."""
+    lines = [
+        f"stream-bench -- {mode} suite",
+        f"  {'benchmark':<16} {'batch':>9} {'1st est':>9} "
+        f"{'finalize':>9} {'step max':>9} {'match':>6}",
+    ]
+    for name, data in results.items():
+        match = "yes" if data["predictions_identical"] else "NO"
+        lines.append(
+            f"  {name:<16} {data['batch_identify_s']:>8.3f}s "
+            f"{data['time_to_first_estimate_s']:>8.3f}s "
+            f"{data['finalize_s']:>8.3f}s "
+            f"{data['last_window_ms']:>7.2f}ms {match:>6}"
+        )
+        lines.append(
+            f"    first estimate after {data['first_estimate_packets']} "
+            f"packets, {data['speedup_first_estimate']:.1f}x ahead of "
+            "batch"
+        )
+    if regressions:
+        for name, ratio in regressions:
+            lines.append(
+                f"  REGRESSION: {name} is {ratio:.2f}x slower than the "
+                "committed baseline"
+            )
+    else:
+        lines.append("  no regressions vs committed baseline")
+    return "\n".join(lines)

@@ -39,6 +39,7 @@ from repro.engine.artifacts import (
     FeatureArtifact,
     ObservablesArtifact,
     PhaseArtifact,
+    StreamWindowArtifact,
     SubcarrierArtifact,
     TraceQualityArtifact,
 )
@@ -203,6 +204,9 @@ def serialize_artifact(artifact: Artifact) -> bytes:
         arrays["theta_wrapped"] = artifact.theta_wrapped
     elif isinstance(artifact, DenoisedTraceArtifact):
         arrays["amplitudes"] = artifact.amplitudes
+    elif isinstance(artifact, StreamWindowArtifact):
+        meta["start"] = artifact.start
+        arrays["amplitudes"] = artifact.amplitudes
     elif isinstance(artifact, ObservablesArtifact):
         meta["pair"] = list(artifact.pair)
         arrays["theta_wrapped"] = artifact.theta_wrapped
@@ -260,6 +264,12 @@ def deserialize_artifact(data: bytes) -> Artifact:
     if kind == "DenoisedTraceArtifact":
         return DenoisedTraceArtifact(
             key=key, amplitudes=np.asarray(arrays["amplitudes"])
+        )
+    if kind == "StreamWindowArtifact":
+        return StreamWindowArtifact(
+            key=key,
+            start=int(meta["start"]),
+            amplitudes=np.asarray(arrays["amplitudes"]),
         )
     if kind == "ObservablesArtifact":
         return ObservablesArtifact(

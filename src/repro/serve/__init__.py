@@ -13,7 +13,9 @@ dependency-free metrics registry covering the whole path.
 * :mod:`repro.serve.workers` -- engine views over the shared
   :class:`repro.engine.StageCache`, isolation and retries;
 * :mod:`repro.serve.metrics` -- counters, gauges, fixed-bucket
-  histograms (p50/p95/p99), snapshots and text rendering.
+  histograms (p50/p95/p99), snapshots and text rendering;
+* :mod:`repro.serve.streaming` -- packet-streaming identification
+  sessions (submit packets, poll the converging estimate, finalize).
 
 ``repro serve-bench`` replays a synthetic multi-material workload
 through the service and prints the whole dashboard.
@@ -38,11 +40,21 @@ from repro.serve.service import (
     ServiceStoppedError,
 )
 from repro.serve.signals import GracefulShutdown, install_graceful_shutdown
+from repro.serve.streaming import (
+    StreamClosedError,
+    StreamLimitError,
+    StreamingGateway,
+    StreamingSession,
+)
 from repro.serve.workers import WorkerPool, default_runner
 
 __all__ = [
     "GracefulShutdown",
     "install_graceful_shutdown",
+    "StreamClosedError",
+    "StreamLimitError",
+    "StreamingGateway",
+    "StreamingSession",
     "BATCH_SIZE_BUCKETS",
     "Counter",
     "DeadlineExceededError",

@@ -77,7 +77,7 @@ class TestFingerprints:
 class TestStageGraph:
     def test_all_stages_declared_once(self):
         names = [spec.name for spec in ALL_STAGES]
-        assert len(names) == len(set(names)) == 7
+        assert len(names) == len(set(names)) == 8
 
     def test_edges_reference_known_stages(self):
         graph = stage_graph()

@@ -17,6 +17,14 @@ import pytest
 import repro.experiments.runner as runner_mod
 from repro.csi.collector import DataCollector, SessionConfig
 
+# The simulated int8 CSI quantization legitimately zeroes a
+# deep-faded antenna in some deployments, so the quality gate's
+# DegradedTraceWarning is expected here; everything else is an error
+# (see pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.csi.quality.DegradedTraceWarning"
+)
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 #: Script name -> repetition cap.  The caps respect each script's own

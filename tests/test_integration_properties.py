@@ -20,6 +20,14 @@ from repro.csi.io import load_session, save_session
 from repro.csi.simulator import SimulationScene
 from repro.experiments.runner import run_identification
 
+# The simulated int8 CSI quantization legitimately zeroes a
+# deep-faded antenna in some deployments, so the quality gate's
+# DegradedTraceWarning is expected here; everything else is an error
+# (see pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.csi.quality.DegradedTraceWarning"
+)
+
 CATALOG = default_catalog()
 
 

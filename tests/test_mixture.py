@@ -8,6 +8,14 @@ from hypothesis import strategies as st
 from repro.channel.materials import Material, default_catalog, mixture
 from repro.channel.propagation import material_feature_theory
 
+# The simulated int8 CSI quantization legitimately zeroes a
+# deep-faded antenna in some deployments, so the quality gate's
+# DegradedTraceWarning is expected here; everything else is an error
+# (see pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.csi.quality.DegradedTraceWarning"
+)
+
 CATALOG = default_catalog()
 
 

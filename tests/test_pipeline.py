@@ -12,6 +12,14 @@ from repro.core.pipeline import WiMi
 from repro.csi.collector import DataCollector
 from repro.csi.simulator import SimulationScene
 
+# The simulated int8 CSI quantization legitimately zeroes a
+# deep-faded antenna in some deployments, so the quality gate's
+# DegradedTraceWarning is expected here; everything else is an error
+# (see pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.csi.quality.DegradedTraceWarning"
+)
+
 CATALOG = default_catalog()
 NAMES = ("pure_water", "oil", "soy", "milk")
 MATERIALS = [CATALOG.get(n) for n in NAMES]

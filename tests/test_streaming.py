@@ -1,0 +1,486 @@
+"""Streaming feature extraction: chunk invariance, faults, serving.
+
+Pins the determinism contract of :mod:`repro.dsp.streaming` (identical
+final state however the packets were chunked), the accumulator
+primitives against their offline references, and the end-to-end
+streaming paths: :class:`repro.core.streaming.StreamingExtractor`,
+``WiMi.identify_streaming``, the serve-layer
+:class:`repro.serve.StreamingGateway`, and the cluster worker's
+clock-skew accounting.
+"""
+
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.channel.materials import default_catalog
+from repro.cluster import Envelope
+from repro.cluster.worker import WorkerBoot, _WorkerRuntime
+from repro.core.feature import theory_reference_omegas
+from repro.core.pipeline import WiMi
+from repro.csi.collector import DataCollector, SessionConfig
+from repro.csi.faults import AntennaDropout, SubcarrierErasure, inject_session
+from repro.csi.quality import DegradedTraceWarning
+from repro.dsp.stats import circular_mean_axis, mad
+from repro.dsp.streaming import (
+    OverlapWindowDenoiser,
+    RollingMad,
+    RunningCircularStats,
+    RunningVariance,
+)
+from repro.engine.cache import StageCache
+from repro.experiments.datasets import (
+    collect_dataset,
+    split_dataset,
+    standard_scene,
+)
+from repro.serve import (
+    MetricsRegistry,
+    StreamClosedError,
+    StreamingGateway,
+    StreamLimitError,
+)
+
+# The simulated int8 CSI quantization legitimately zeroes a
+# deep-faded antenna in some deployments, so the quality gate's
+# DegradedTraceWarning is expected here; everything else is an error
+# (see pyproject filterwarnings).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.csi.quality.DegradedTraceWarning"
+)
+
+
+# ----------------------------------------------------------------------
+# Running accumulators vs offline references
+# ----------------------------------------------------------------------
+
+
+class TestRunningCircularStats:
+    def test_matches_offline_circular_mean_with_nans(self):
+        rng = np.random.default_rng(0)
+        angles = rng.uniform(-np.pi, np.pi, size=(50, 9))
+        angles[rng.random(angles.shape) < 0.1] = np.nan
+        angles[:, 4] = np.nan  # one element with no finite sample at all
+
+        stats = RunningCircularStats(9)
+        for row in angles:
+            stats.add(row)
+
+        reference = circular_mean_axis(angles, axis=0, ignore_nan=True)
+        running = stats.mean()
+        finite = np.isfinite(reference)
+        assert np.array_equal(finite, np.isfinite(running))
+        # Same resultant-vector formula, different summation order.
+        assert np.allclose(running[finite], reference[finite], atol=1e-12)
+        assert np.array_equal(
+            stats.counts(), np.isfinite(angles).sum(axis=0)
+        )
+        assert stats.num_samples == 50
+
+    def test_resultant_length_bounds_and_variance(self):
+        stats = RunningCircularStats(3)
+        for _ in range(20):
+            stats.add(np.array([0.5, 0.5, 0.5]))
+        r = stats.resultant_length()
+        assert np.allclose(r, 1.0)  # identical angles: fully concentrated
+        assert np.allclose(stats.circular_variance(), 0.0, atol=1e-12)
+
+    def test_rejects_shape_mismatch(self):
+        stats = RunningCircularStats((2, 3))
+        with pytest.raises(ValueError, match="shape"):
+            stats.add(np.zeros(5))
+
+
+class TestRunningVariance:
+    def test_matches_numpy_sample_moments(self):
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal(200)
+        acc = RunningVariance()
+        for v in values:
+            acc.add(v)
+        assert acc.count == 200
+        assert acc.mean == pytest.approx(values.mean(), abs=1e-12)
+        assert acc.variance == pytest.approx(values.var(ddof=1), abs=1e-12)
+        assert acc.std == pytest.approx(values.std(ddof=1), abs=1e-12)
+
+    def test_skips_non_finite_and_reports_nan_when_starved(self):
+        acc = RunningVariance()
+        assert np.isnan(acc.mean)
+        acc.add(float("nan"))
+        acc.add(float("inf"))
+        assert acc.count == 0
+        acc.add(2.0)
+        assert acc.mean == 2.0
+        assert np.isnan(acc.variance)  # needs >= 2 samples
+        acc.add(4.0)
+        assert acc.variance == pytest.approx(2.0)
+
+
+class TestRollingMad:
+    def test_matches_mad_of_trailing_window(self):
+        rng = np.random.default_rng(2)
+        values = rng.standard_normal(40)
+        rolling = RollingMad(window=16)
+        for v in values:
+            rolling.add(v)
+        assert rolling.value() == pytest.approx(
+            mad(values[-16:]), abs=1e-12
+        )
+        assert len(rolling) == 16
+
+    def test_nan_while_empty_and_skips_non_finite(self):
+        rolling = RollingMad(window=4)
+        assert np.isnan(rolling.value())
+        rolling.add(float("nan"))
+        assert len(rolling) == 0
+
+
+# ----------------------------------------------------------------------
+# Overlap-add window denoiser: incremental == offline
+# ----------------------------------------------------------------------
+
+
+def _noisy_series(length, channels=6, seed=3):
+    rng = np.random.default_rng(seed)
+    series = 1.0 + 0.05 * np.sin(
+        2 * np.pi * np.arange(length)[:, None] / 16.0 + np.arange(channels)
+    )
+    series += 0.01 * rng.standard_normal(series.shape)
+    spikes = rng.random(series.shape) < 0.03
+    series[spikes] += 3.0
+    return series
+
+
+class TestOverlapWindowDenoiser:
+    @pytest.mark.parametrize("length", [3, 8, 11, 40])
+    def test_incremental_emission_matches_offline(self, length):
+        """Emitting windows as packets arrive == the offline reference.
+
+        The incremental driver mirrors what ``_TraceStream`` does: emit
+        every complete window the moment its last packet lands, then the
+        tail window at stream end.
+        """
+        denoiser = OverlapWindowDenoiser(window_size=8, hop=4)
+        series = _noisy_series(length)
+
+        den_sum = np.zeros_like(series)
+        weight = np.zeros(series.shape, dtype=np.int64)
+        next_start = 0
+        for n in range(1, length + 1):
+            while next_start + denoiser.window_size <= n:
+                out = denoiser.denoise_window(
+                    series[next_start:next_start + denoiser.window_size]
+                )
+                denoiser.accumulate(den_sum, weight, next_start, out)
+                next_start += denoiser.hop
+        tail = denoiser.tail_start(length)
+        if tail is not None:
+            out = denoiser.denoise_window(
+                series[tail:tail + denoiser.window_size]
+            )
+            denoiser.accumulate(den_sum, weight, tail, out)
+
+        incremental = denoiser.resolve(den_sum, weight)
+        offline = denoiser.denoise(series)
+        assert np.array_equal(incremental, offline)
+        assert np.isfinite(incremental).all()  # every packet covered
+
+    def test_window_schedule_covers_every_packet(self):
+        denoiser = OverlapWindowDenoiser(window_size=8, hop=4)
+        for length in range(1, 30):
+            covered = np.zeros(length, dtype=bool)
+            for start in denoiser.window_starts(length):
+                covered[start:start + denoiser.window_size] = True
+            assert covered.all(), f"length {length} left packets uncovered"
+
+    def test_dead_column_stays_nan(self):
+        denoiser = OverlapWindowDenoiser(window_size=8, hop=4)
+        series = _noisy_series(16)
+        series[:, 2] = np.nan
+        out = denoiser.denoise(series)
+        assert np.isnan(out[:, 2]).all()
+        other = np.delete(out, 2, axis=1)
+        assert np.isfinite(other).all()
+
+    def test_validates_window_and_hop(self):
+        with pytest.raises(ValueError, match="window_size"):
+            OverlapWindowDenoiser(window_size=0)
+        with pytest.raises(ValueError, match="hop"):
+            OverlapWindowDenoiser(window_size=8, hop=9)
+
+
+# ----------------------------------------------------------------------
+# End-to-end streaming extraction
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A small fitted pipeline plus one held-out test session."""
+    catalog = default_catalog()
+    materials = [catalog.get(n) for n in ("pure_water", "pepsi", "oil")]
+    scene = standard_scene("lab")
+    dataset = collect_dataset(
+        materials, scene=scene, repetitions=4, num_packets=8, seed=0
+    )
+    train, _ = split_dataset(dataset)
+    wimi = WiMi(theory_reference_omegas(materials))
+    wimi.fit(train)
+    collector = DataCollector(scene, rng=2)
+    session = collector.collect(
+        catalog.get("pepsi"), SessionConfig(num_packets=40)
+    )
+    return wimi, session
+
+
+def _stream_result(wimi, session, chunk_size):
+    stream = wimi.clone_view().streaming_extractor(
+        scene=session.scene, material_name=session.material_name
+    )
+    stream.push_baseline(session.baseline)
+    packets = list(session.target.packets)
+    step = len(packets) if chunk_size is None else chunk_size
+    for start in range(0, len(packets), step):
+        stream.push_target(packets[start:start + step])
+    return stream.finalize()
+
+
+class TestChunkInvariance:
+    def test_chunk_sizes_yield_identical_final_features(self, fitted):
+        """Chunks of 1, 7 and the whole trace are bit-identical."""
+        wimi, session = fitted
+        by_packet = _stream_result(wimi, session, 1)
+        by_seven = _stream_result(wimi, session, 7)
+        all_at_once = _stream_result(wimi, session, None)
+
+        reference = by_packet.features.vector()
+        assert np.array_equal(by_seven.features.vector(), reference)
+        assert np.array_equal(all_at_once.features.vector(), reference)
+        assert by_packet.label == by_seven.label == all_at_once.label
+        assert (
+            by_packet.estimate.gamma
+            == by_seven.estimate.gamma
+            == all_at_once.estimate.gamma
+        )
+        assert by_packet.estimate.omega == by_seven.estimate.omega
+
+    def test_identify_streaming_matches_identify(self, fitted):
+        wimi, session = fitted
+        assert wimi.identify_streaming(session, chunk_size=7) == (
+            wimi.identify(session)
+        )
+
+
+class TestStreamingExtractor:
+    def test_estimate_converges_after_first_window(self, fitted):
+        wimi, session = fitted
+        stream = wimi.clone_view().streaming_extractor(scene=session.scene)
+        window = stream.window_size
+
+        stream.push_baseline(session.baseline)
+        assert not stream.estimate().ready  # no target packets yet
+
+        packets = list(session.target.packets)
+        for index, packet in enumerate(packets):
+            estimate = stream.estimate()
+            if index + 1 <= window:
+                stream.push_target(packet)
+                continue
+            # Past the first window the estimate must be live.
+            assert estimate.ready
+            assert 0.0 <= estimate.confidence <= 1.0
+            assert estimate.target_packets == index
+            stream.push_target(packet)
+
+        result = stream.finalize()
+        assert result.label
+        assert result.estimate.ready
+        # The final polled estimate and the finalized one agree on the
+        # resolved branch; omega differs only by the tail window.
+        assert stream.estimate().gamma == result.estimate.gamma
+
+    def test_finalize_is_idempotent_and_seals_the_stream(self, fitted):
+        wimi, session = fitted
+        stream = wimi.clone_view().streaming_extractor(scene=session.scene)
+        stream.push_baseline(session.baseline)
+        stream.push_target(session.target)
+        first = stream.finalize()
+        assert stream.finalize() is first
+        with pytest.raises(RuntimeError, match="finalized"):
+            stream.push_target(session.target.packets[0])
+
+    def test_finalize_without_packets_raises(self, fitted):
+        wimi, _ = fitted
+        stream = wimi.clone_view().streaming_extractor()
+        with pytest.raises(RuntimeError, match="baseline|target|packet"):
+            stream.finalize()
+
+    def test_requires_fitted_pipeline(self):
+        wimi = WiMi({"pepsi": 0.2})
+        with pytest.raises(RuntimeError, match="fit"):
+            wimi.streaming_extractor()
+
+    def test_replay_resolves_windows_from_stage_cache(self, fitted):
+        """Replaying a stream hits the partial-input window artifacts."""
+        wimi, session = fitted
+        cache = StageCache()
+        view = wimi.clone_view(cache=cache)
+        _stream_result(view, session, 1)
+        stats = cache.stats["stream_window_denoise"]
+        misses_after_first = stats.misses
+        assert misses_after_first > 0
+        _stream_result(view, session, 7)  # different chunking, same stream
+        assert stats.misses == misses_after_first
+        assert stats.hits >= misses_after_first
+
+
+class TestFaultInjectedStreaming:
+    def test_quality_gate_fires_on_nan_antenna(self, fitted):
+        """A NaN'd RF chain streams through but is flagged at finalize."""
+        wimi, session = fitted
+        faulty = inject_session(
+            session, [AntennaDropout(antenna=0, mode="nan")], seed=5
+        )
+        stream = wimi.clone_view().streaming_extractor(scene=faulty.scene)
+        stream.push_baseline(faulty.baseline)
+        stream.push_target(faulty.target)
+        with pytest.warns(DegradedTraceWarning):
+            result = stream.finalize()
+        assert result.label  # degraded plan still classifies
+        assert result.features.quality is not None
+        assert result.features.quality.is_degraded
+        assert 0 in result.features.quality.dead_antennas
+        # The surviving measurement avoided the dead chain.
+        assert 0 not in result.features.measurements[0].pair
+
+    def test_streaming_matches_batch_on_degraded_session(self, fitted):
+        """Fault fallbacks route identically through both paths."""
+        wimi, session = fitted
+        faulty = inject_session(
+            session,
+            [SubcarrierErasure(rate=0.1), AntennaDropout(antenna=2)],
+            seed=7,
+        )
+        with pytest.warns(DegradedTraceWarning):
+            batch_label = wimi.identify(faulty)
+        with pytest.warns(DegradedTraceWarning):
+            result = _stream_result(wimi, faulty, 1)
+        assert result.label == batch_label
+
+
+# ----------------------------------------------------------------------
+# Serve layer: StreamingGateway sessions
+# ----------------------------------------------------------------------
+
+
+class TestStreamingGateway:
+    def test_open_submit_poll_finalize(self, fitted):
+        wimi, session = fitted
+        gateway = StreamingGateway(wimi, max_streams=2)
+        stream = gateway.open(
+            scene=session.scene, material_name=session.material_name
+        )
+        stream.submit_baseline(session.baseline)
+        stream.submit_target(session.target)
+        assert stream.poll().ready
+        result = stream.finalize()
+        assert result.label == wimi.identify(session)
+        # Poll after finalize returns the sealed estimate.
+        assert stream.poll() is result.estimate
+        snap = gateway.snapshot()
+        assert snap["counters"]["streams.opened"] == 1
+        assert snap["counters"]["streams.finalized"] == 1
+        assert snap["gauges"]["streams.active"] == 0.0
+        assert "stage_cache" in snap
+
+    def test_capacity_limit_rejects_then_recovers(self, fitted):
+        wimi, _ = fitted
+        gateway = StreamingGateway(wimi, max_streams=1)
+        first = gateway.open()
+        with pytest.raises(StreamLimitError, match="capacity"):
+            gateway.open()
+        first.abort()
+        assert gateway.active == 0
+        gateway.open()  # slot freed by the abort
+        snap = gateway.snapshot()
+        assert snap["counters"]["streams.rejected"] == 1
+        assert snap["counters"]["streams.aborted"] == 1
+
+    def test_closed_stream_rejects_packets(self, fitted):
+        wimi, session = fitted
+        gateway = StreamingGateway(wimi)
+        stream = gateway.open()
+        stream.abort()
+        stream.abort()  # idempotent
+        with pytest.raises(StreamClosedError, match="closed"):
+            stream.submit_target(session.target)
+
+    def test_needs_fitted_pipeline(self):
+        with pytest.raises(ValueError, match="fitted"):
+            StreamingGateway(WiMi({"pepsi": 0.2}))
+
+
+# ----------------------------------------------------------------------
+# Cluster worker clock discipline
+# ----------------------------------------------------------------------
+
+
+def _stub_runtime(replies):
+    """A _WorkerRuntime with the boot-heavy pieces stubbed out."""
+    runtime = object.__new__(_WorkerRuntime)
+    runtime.worker_id = "w0"
+    runtime.shard = 0
+    runtime.boot = WorkerBoot(registry_path="unused", throttle_s=0.0)
+    runtime.endpoint = SimpleNamespace(send_reply=replies.append)
+    runtime.metrics = MetricsRegistry()
+    runtime.wimi = SimpleNamespace(
+        identify_batch=lambda sessions: ["oil"] * len(sessions)
+    )
+    return runtime
+
+
+class TestWorkerClockDiscipline:
+    def test_skewed_submit_clamps_and_counts(self):
+        """A future submitted_ts (cross-host skew) is clamped, not negative.
+
+        The clamp is counted in ``clock.skew_clamped`` so skew shows up
+        in the orchestrator's merged snapshot instead of silently
+        zeroing queue-wait samples.
+        """
+        replies = []
+        runtime = _stub_runtime(replies)
+        skewed = Envelope("r1", None, 0, submitted_ts=time.time() + 60.0)
+        normal = Envelope("r2", None, 0)
+        runtime._process([skewed, normal])
+
+        assert runtime.metrics.counter("clock.skew_clamped").value == 1
+        waits = runtime.metrics.snapshot()["histograms"]["queue_wait_ms"]
+        assert waits["count"] == 2
+        assert waits["min"] >= 0.0  # never a negative wait sample
+        assert sorted(r.request_id for r in replies) == ["r1", "r2"]
+        assert all(r.ok for r in replies)
+
+    def test_skew_counter_survives_snapshot_merge(self):
+        """The counter reaches the orchestrator's cross-process merge."""
+        replies = []
+        runtime = _stub_runtime(replies)
+        runtime._process(
+            [Envelope("r1", None, 0, submitted_ts=time.time() + 5.0)]
+        )
+        merged = MetricsRegistry.merge(
+            [runtime.metrics.snapshot(), MetricsRegistry().snapshot()]
+        )
+        assert merged["counters"]["clock.skew_clamped"] == 1
+
+    def test_unskewed_batch_counts_nothing(self):
+        replies = []
+        runtime = _stub_runtime(replies)
+        runtime._process([Envelope("r1", None, 0), Envelope("r2", None, 0)])
+        assert runtime.metrics.counter("clock.skew_clamped").value == 0
+        # Wall-clock deadlines still expire against wall-clock now.
+        stale = Envelope("r3", None, 0, deadline_ts=time.time() - 1.0)
+        runtime._process([stale])
+        assert runtime.metrics.counter("requests.expired").value == 1
+        assert replies[-1].error_type == "DeadlineExceededError"
