@@ -408,6 +408,78 @@ def _stream_bench(args) -> str:
     return report
 
 
+def _precision_bench(args) -> str:
+    """``repro precision-bench``: float32-vs-float64 compute-path suite.
+
+    Times the reduced-precision kernels (denoiser, simulator compute
+    pass, shared Gram) against the default float64 paths, runs the
+    paper identification scenario end to end at both precisions, and
+    measures the ring-buffer window-assembly allocation peak against
+    the list-of-arrays scheme.  Writes/merges the JSON report
+    (``--precision-output``), compares timings against the committed
+    baseline (``--precision-baseline``), and exits non-zero on any gate
+    failure: float32 accuracy below float64, assembly allocating more
+    than the old scheme, a full-suite kernel speedup under the floor,
+    or a timing regression beyond ``--precision-max-regression``.
+    """
+    from repro.experiments import precisionbench
+
+    mode = "smoke" if args.smoke else "full"
+    baseline = precisionbench.load_report(args.precision_baseline)
+    results = precisionbench.run_suite(
+        mode, progress=lambda name: print(f"  running {name}...", flush=True)
+    )
+    precisionbench.write_report(args.precision_output, mode, results)
+    regressions = precisionbench.compare_to_baseline(
+        results, baseline, mode, args.precision_max_regression
+    )
+    failures = precisionbench.check_results(results, mode)
+    report = precisionbench.render_report(mode, results, regressions, failures)
+    report += f"\n  report written to {args.precision_output}"
+    if regressions or failures:
+        raise SystemExit(report)
+    return report
+
+
+def _bench_compare(args) -> str:
+    """``repro bench-compare``: diff two benchmark JSON reports.
+
+    Compares per-suite timings and speedups between two reports sharing
+    the ``{"suites": {mode: {benchmark: ...}}}`` layout (e.g. a
+    committed ``BENCH_PR9.json`` against a freshly written one),
+    highlighting benchmarks whose timing moved beyond
+    ``--compare-threshold`` in either direction.  Exits non-zero when
+    any benchmark regressed.
+    """
+    from repro.experiments import perfbench
+
+    old = perfbench.load_report(args.compare_old)
+    new = perfbench.load_report(args.compare_new)
+    missing = [
+        path
+        for path, report in (
+            (args.compare_old, old),
+            (args.compare_new, new),
+        )
+        if report is None
+    ]
+    if missing:
+        raise SystemExit(
+            "bench-compare: not a readable benchmark report: "
+            + ", ".join(missing)
+        )
+    diff = perfbench.diff_reports(old, new, args.compare_threshold)
+    report = perfbench.render_diff(diff, args.compare_old, args.compare_new)
+    regressed = any(
+        entry.get("status") == "regressed"
+        for suite in diff["suites"].values()
+        for entry in suite["benchmarks"].values()
+    )
+    if regressed:
+        raise SystemExit(report)
+    return report
+
+
 def _robustness_bench(args) -> str:
     """``repro robustness-bench``: accuracy-under-fault sweeps.
 
@@ -431,10 +503,10 @@ def _robustness_bench(args) -> str:
 def _store(args) -> str:
     """``repro store``: inspect (and optionally gc) the artifact store.
 
-    Prints total and per-stage entry counts and byte sizes of the
-    content-addressed store at ``--store-path``; ``--gc`` additionally
-    prunes stale temp files and entries that fail integrity
-    verification.
+    Prints total and per-stage entry counts, byte sizes, and stored
+    array dtypes of the content-addressed store at ``--store-path``;
+    ``--gc`` additionally prunes stale temp files and entries that
+    fail integrity verification.
     """
     from repro.persist.store import ArtifactStore
 
@@ -447,9 +519,14 @@ def _store(args) -> str:
     if stats["stages"]:
         width = max(len(s) for s in stats["stages"])
         for stage, info in stats["stages"].items():
+            dtypes = ", ".join(
+                f"{dtype} x{count}"
+                for dtype, count in info.get("dtypes", {}).items()
+            )
             lines.append(
                 f"  {stage:<{width}}  {info['entries']:>6d} entries  "
                 f"{info['bytes']:>10d} bytes"
+                + (f"  [{dtypes}]" if dtypes else "")
             )
     else:
         lines.append("  (empty)")
@@ -561,6 +638,13 @@ COMMANDS: dict[str, Command] = {
         _stream_bench, "streaming time-to-first-estimate vs batch latency",
         in_all=False,
     ),
+    "precision-bench": Command(
+        _precision_bench, "float32 compute paths vs float64 baselines",
+        in_all=False,
+    ),
+    "bench-compare": Command(
+        _bench_compare, "diff two benchmark JSON reports", in_all=False
+    ),
     "robustness-bench": Command(
         _robustness_bench, "accuracy-under-fault sweeps (loss, dead antenna)",
         in_all=False,
@@ -657,6 +741,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream-max-regression", type=float, default=3.0,
         help="fail when a gated streaming timing exceeds this multiple of "
         "the baseline's (default 3.0; <= 0 disables the gate)",
+    )
+    precision = parser.add_argument_group("precision-bench options")
+    precision.add_argument(
+        "--precision-output", default="BENCH_PR9.json",
+        help="JSON report to write/merge (default BENCH_PR9.json)",
+    )
+    precision.add_argument(
+        "--precision-baseline", default="BENCH_PR9.json",
+        help="committed report to compare against (default BENCH_PR9.json)",
+    )
+    precision.add_argument(
+        "--precision-max-regression", type=float, default=2.0,
+        help="fail when new_s exceeds this multiple of the baseline's "
+        "(default 2.0; <= 0 disables the gate)",
+    )
+    compare = parser.add_argument_group("bench-compare options")
+    compare.add_argument(
+        "--compare-old", default="BENCH_PR4.json",
+        help="older/committed report (default BENCH_PR4.json)",
+    )
+    compare.add_argument(
+        "--compare-new", default="BENCH_PR9.json",
+        help="newer report to diff against it (default BENCH_PR9.json)",
+    )
+    compare.add_argument(
+        "--compare-threshold", type=float, default=1.25,
+        help="flag benchmarks whose timing moved beyond this factor "
+        "(default 1.25; <= 0 reports deltas without flagging)",
     )
     robust = parser.add_argument_group("robustness-bench options")
     robust.add_argument(

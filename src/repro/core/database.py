@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.feature import FeatureMeasurement
+from repro.dsp.precision import validate_precision
 from repro.ml.centroid import NearestCentroidClassifier
 from repro.ml.kernels import make_kernel
 from repro.ml.knn import KNeighborsClassifier
@@ -142,13 +143,19 @@ class DatabaseClassifier:
         svm_c: float = 10.0,
         knn_k: int = 5,
         seed: int = 0,
+        precision: str = "float64",
     ):
         if kind not in ("svm", "knn", "centroid"):
             raise ValueError(f"unknown classifier kind {kind!r}")
+        validate_precision(precision)
         self.kind = kind
         self.svm_c = svm_c
         self.knn_k = knn_k
         self.seed = seed
+        #: Working precision of the shared SVM Gram evaluation
+        #: (``WiMiConfig.compute_precision``); SMO still accumulates
+        #: in float64 either way.
+        self.precision = precision
         self._scaler = StandardScaler()
         self._clf = None
         self._centroids: NearestCentroidClassifier | None = None
@@ -160,7 +167,12 @@ class DatabaseClassifier:
             raise ValueError("need at least two materials to train")
         x = self._scaler.fit_transform(x)
         if self.kind == "svm":
-            self._clf = OneVsOneSVC(kernel="rbf", C=self.svm_c, seed=self.seed)
+            self._clf = OneVsOneSVC(
+                kernel="rbf",
+                C=self.svm_c,
+                seed=self.seed,
+                precision=self.precision,
+            )
         elif self.kind == "knn":
             self._clf = KNeighborsClassifier(k=self.knn_k)
         else:
@@ -260,6 +272,7 @@ class DatabaseClassifier:
             "svm_c": self.svm_c,
             "knn_k": self.knn_k,
             "seed": self.seed,
+            "precision": self.precision,
             "centroid_classes": [str(c) for c in self._centroids.classes_],
         }
         arrays: dict[str, np.ndarray] = {
@@ -313,6 +326,9 @@ class DatabaseClassifier:
             svm_c=float(meta["svm_c"]),
             knn_k=int(meta["knn_k"]),
             seed=int(meta["seed"]),
+            # Older bundles predate the precision knob; they were
+            # trained on the historical float64 path.
+            precision=str(meta.get("precision", "float64")),
         )
         self._scaler._mean = np.asarray(arrays["scaler_mean"], dtype=float)
         self._scaler._scale = np.asarray(arrays["scaler_scale"], dtype=float)

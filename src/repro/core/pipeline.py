@@ -102,6 +102,7 @@ class WiMi:
             wavelet_name=self.config.wavelet_name,
             levels=self.config.wavelet_levels,
             outlier_sigmas=self.config.outlier_sigmas,
+            precision=self.config.compute_precision,
         )
         self.amplitude = AmplitudeProcessor(
             denoiser=denoiser, denoise=self.config.denoise_amplitude
@@ -694,6 +695,7 @@ class WiMi:
             kind=self.config.classifier,
             svm_c=self.config.svm_c,
             knn_k=self.config.knn_k,
+            precision=self.config.compute_precision,
         ).fit(self.database)
         self._classifier_token = self._compute_classifier_token()
 

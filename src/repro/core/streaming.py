@@ -46,6 +46,8 @@ from repro.core.feature import (
 )
 from repro.csi.collector import CaptureSession
 from repro.csi.model import CsiPacket, CsiTrace
+from repro.dsp.precision import real_dtype
+from repro.dsp.ringbuffer import RowRingBuffer
 from repro.dsp.stats import circular_mean, finite_mean, finite_median, wrap_phase
 from repro.dsp.streaming import (
     OverlapWindowDenoiser,
@@ -111,23 +113,32 @@ class StreamingResult:
 class _TraceStream:
     """Running state of one trace (baseline or target) of a stream."""
 
-    def __init__(self, num_subcarriers: int, num_antennas: int, denoise):
+    def __init__(
+        self,
+        num_subcarriers: int,
+        num_antennas: int,
+        denoise,
+        precision: str = "float64",
+    ):
         self.num_subcarriers = num_subcarriers
         self.num_antennas = num_antennas
         self._denoise = denoise  # (rows, start) -> denoised rows
+        self._dtype = real_dtype(precision)
         self._pairs = [
             (i, j)
             for i in range(num_antennas)
             for j in range(i + 1, num_antennas)
         ]
         self._phase = {
-            pair: RunningCircularStats((num_subcarriers,))
+            pair: RunningCircularStats((num_subcarriers,), precision)
             for pair in self._pairs
         }
         self.packets: list[CsiPacket] = []
-        self._rows: list[np.ndarray] = []  # raw |H| rows, shape (K*A,)
         channels = num_subcarriers * num_antennas
-        self._den_sum = np.zeros((0, channels))
+        # Raw |H| rows in one contiguous arena: each denoise window is a
+        # zero-copy view of it instead of an np.stack over a row list.
+        self._rows = RowRingBuffer(channels, dtype=self._dtype)
+        self._den_sum = np.zeros((0, channels), dtype=self._dtype)
         self._weight = np.zeros((0, channels), dtype=np.int64)
         self._next_start = 0
         self._covered_end = 0
@@ -153,8 +164,7 @@ class _TraceStream:
                 f"stream's ({self.num_subcarriers}, {self.num_antennas})"
             )
         self.packets.append(packet)
-        row = np.abs(packet.csi).ravel()
-        self._rows.append(row)
+        row = self._rows.append(np.abs(packet.csi).ravel())
         csi = packet.csi
         for (i, j), stats in self._phase.items():
             stats.add(np.angle(csi[:, i] * np.conj(csi[:, j])))
@@ -166,8 +176,11 @@ class _TraceStream:
 
     def _emit_window(self, start: int, window_size: int) -> None:
         stop = min(start + window_size, len(self._rows))
-        slab = np.stack(self._rows[start:stop])
-        out = np.asarray(self._denoise(slab, start), dtype=float)
+        # Zero-copy: the window is a contiguous read-only view of the
+        # row arena; the denoise stage hashes and reads it, never
+        # mutates it (its outputs are fresh arrays).
+        slab = self._rows.window(start, stop)
+        out = np.asarray(self._denoise(slab, start), dtype=self._dtype)
         self._ensure_capacity(stop)
         OverlapWindowDenoiser.accumulate(
             self._den_sum, self._weight, start, out
@@ -188,7 +201,7 @@ class _TraceStream:
             return
         capacity = max(16, 2 * have, rows)
         channels = self._den_sum.shape[1]
-        den_sum = np.zeros((capacity, channels))
+        den_sum = np.zeros((capacity, channels), dtype=self._den_sum.dtype)
         den_sum[:have] = self._den_sum
         weight = np.zeros((capacity, channels), dtype=np.int64)
         weight[:have] = self._weight
@@ -353,6 +366,7 @@ class StreamingExtractor:
             denoise=lambda rows, start: engine.stream_window_denoise(
                 rows, start
             ).amplitudes,
+            precision=self._wimi.config.compute_precision,
         )
         if which == "baseline":
             self._baseline = stream

@@ -1,0 +1,91 @@
+"""Working-precision resolution for the hot compute paths.
+
+The pipeline's numerically heavy kernels (batched wavelet denoise,
+simulator compute pass, Gram matrices) accept an optional working dtype
+so :attr:`repro.core.config.WiMiConfig.compute_precision` can trade
+float64 bit-compatibility for float32 memory bandwidth.  This module is
+the single place that maps the config string to concrete dtypes, so
+every layer agrees on what "float32" means for real and complex
+intermediates.
+
+Rules of thumb encoded here (rationale in DESIGN.md §14):
+
+* ``"float64"`` is the default everywhere and is bit-identical to the
+  scalar reference implementations -- a ``None``/``"float64"`` request
+  must leave every existing code path untouched.
+* float32 kernels must never *silently* promote back: under NumPy's
+  NEP 50 promotion a stray float64 operand upgrades the whole
+  expression, so real-valued modifier arrays are cast with
+  :func:`real_dtype` before they meet complex64 data.
+* Accumulation that shapes convergence (SMO multiplier updates,
+  Welford variance, circular resultants' counts) stays float64; only
+  bandwidth-bound bulk math drops to float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Accepted precision names (mirrors WiMiConfig validation).
+PRECISIONS = ("float64", "float32")
+
+
+def validate_precision(precision: str) -> str:
+    """Return ``precision`` unchanged after validating it."""
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    return precision
+
+
+def real_dtype(precision: str | None) -> np.dtype:
+    """The working real dtype for ``precision`` (None -> float64)."""
+    if precision is None:
+        return np.dtype(np.float64)
+    validate_precision(precision)
+    return np.dtype(np.float32 if precision == "float32" else np.float64)
+
+
+def complex_dtype(precision: str | None) -> np.dtype:
+    """The working complex dtype for ``precision`` (None -> complex128)."""
+    if precision is None:
+        return np.dtype(np.complex128)
+    validate_precision(precision)
+    return np.dtype(
+        np.complex64 if precision == "float32" else np.complex128
+    )
+
+
+def unit_phasor(phase: np.ndarray) -> np.ndarray:
+    """``exp(1j * phase)`` at the phase array's own precision.
+
+    float64 (and anything that is not float32) takes the historical
+    ``np.exp(1j * phase)`` path bit-for-bit.  float32 instead combines
+    the real float32 ``cos``/``sin`` kernels into a complex64 result:
+    numpy's complex64 exp falls back to a scalar loop and is *slower*
+    than the complex128 one, while the real float32 trig ufuncs are
+    SIMD-vectorised -- an order of magnitude faster on the simulator's
+    per-packet phase grids.  Agreement with the exp path is within
+    float32 rounding (~1e-7), the working precision's own noise.
+    """
+    phase = np.asarray(phase)
+    if phase.dtype != np.float32:
+        return np.exp(1j * phase)
+    out = np.empty(phase.shape, dtype=np.complex64)
+    np.cos(phase, out=out.real)
+    np.sin(phase, out=out.imag)
+    return out
+
+
+def precision_of(dtype) -> str:
+    """The precision name matching a real/complex ``dtype``.
+
+    float32/complex64 map to ``"float32"``; everything else (including
+    integer inputs that would promote to float64) maps to
+    ``"float64"``.
+    """
+    dtype = np.dtype(dtype)
+    if dtype in (np.dtype(np.float32), np.dtype(np.complex64)):
+        return "float32"
+    return "float64"

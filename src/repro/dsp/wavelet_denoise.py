@@ -41,10 +41,12 @@ and the perf-bench baseline.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dsp.precision import real_dtype, validate_precision
 from repro.dsp.stats import robust_sigma, robust_sigma_axis
 from repro.dsp.wavelet import (
     Wavelet,
@@ -57,11 +59,25 @@ from repro.dsp.wavelet import (
 )
 
 
+def _as_float_array(x: np.ndarray) -> np.ndarray:
+    """Coerce to a floating array, preserving float32/float64.
+
+    Historically every entry point forced float64; preserving an
+    explicit float32 input lets the low-precision pipeline keep its
+    working dtype through the outlier step without changing any float64
+    caller (integer and exotic inputs still promote to float64).
+    """
+    x = np.asarray(x)
+    if x.dtype == np.float32 or x.dtype == np.float64:
+        return x
+    return x.astype(float)
+
+
 def _reference_remove_outliers(
     x: np.ndarray, num_sigmas: float = 3.0
 ) -> tuple[np.ndarray, np.ndarray]:
     """Original strictly-1-D :func:`remove_outliers` (equivalence ref)."""
-    x = np.asarray(x, dtype=float)
+    x = _as_float_array(x)
     if x.ndim != 1:
         raise ValueError(f"expected a 1-D signal, got shape {x.shape}")
     if x.size == 0:
@@ -95,9 +111,10 @@ def remove_outliers(
     channel column is screened against its own mean/std.
 
     Returns:
-        ``(cleaned, outlier_mask)``.
+        ``(cleaned, outlier_mask)``.  ``cleaned`` keeps a float32
+        input's dtype (other dtypes promote to float64 as before).
     """
-    x = np.asarray(x, dtype=float)
+    x = _as_float_array(x)
     if x.ndim == 1:
         return _reference_remove_outliers(x, num_sigmas)
     if x.ndim != 2:
@@ -137,12 +154,26 @@ class SpatiallySelectiveDenoiser:
         levels: SWT depth (clamped to what the signal length allows).
         outlier_sigmas: Threshold of the outlier-rejection pre-step.
         max_iterations: Safety bound on the extract-and-repeat loop.
+        precision: Working precision of the transform and the
+            extract-and-repeat loop: ``"float64"`` (default,
+            bit-compatible with the scalar references) or ``"float32"``
+            (half the memory traffic on the batched hot path).
+
+    Thread-safety: one denoiser instance is shared by every serving
+    worker thread (``WiMi.clone_view`` shares the amplitude processor),
+    so the reusable work/out coefficient buffers live in a
+    ``threading.local`` slot -- concurrent ``denoise`` calls never see
+    each other's scratch.  The buffers are only valid inside one
+    ``_filter_details`` call; nothing returned to callers aliases them
+    (``iswt`` consumes the extracted coefficients and returns a fresh
+    array).
     """
 
     wavelet_name: str = "db2"
     levels: int = 3
     outlier_sigmas: float = 3.0
     max_iterations: int = 20
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.levels < 1:
@@ -151,8 +182,22 @@ class SpatiallySelectiveDenoiser:
             raise ValueError(
                 f"max_iterations must be >= 1, got {self.max_iterations}"
             )
+        validate_precision(self.precision)
+        self._dtype = real_dtype(self.precision)
         # Fail fast on unknown wavelet names.
         self._wavelet: Wavelet = get_wavelet(self.wavelet_name)
+        self._scratch = threading.local()
+
+    def __getstate__(self) -> dict:
+        # threading.local cannot be pickled; scratch buffers are
+        # per-process/thread anyway, so drop them and rebuild on load.
+        state = self.__dict__.copy()
+        state.pop("_scratch", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._scratch = threading.local()
 
     # ------------------------------------------------------------------
 
@@ -162,12 +207,14 @@ class SpatiallySelectiveDenoiser:
         Accepts 1-D ``(time,)`` or 2-D ``(time, channels)`` input; the
         2-D form denoises every channel in one batched pass.
         """
-        cleaned, _ = remove_outliers(x, self.outlier_sigmas)
+        cleaned, _ = remove_outliers(
+            np.asarray(x, dtype=self._dtype), self.outlier_sigmas
+        )
         return self.correlation_filter(cleaned)
 
     def correlation_filter(self, x: np.ndarray) -> np.ndarray:
         """Eq. 8-13 cross-scale correlation filtering (no outlier step)."""
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=self._dtype)
         if x.ndim not in (1, 2):
             raise ValueError(
                 f"expected a 1-D or 2-D (time, channels) signal, "
@@ -178,11 +225,38 @@ class SpatiallySelectiveDenoiser:
             # Too short to transform: nothing to do.
             return x.copy()
         levels = min(self.levels, limit)
-        approx, details = swt(x, self._wavelet, levels)
+        approx, details = swt(x, self._wavelet, levels, dtype=self._dtype)
         new_details = self._filter_details(details)
-        return iswt(approx, new_details, self._wavelet)
+        return iswt(approx, new_details, self._wavelet, dtype=self._dtype)
 
     # ------------------------------------------------------------------
+
+    def _workspace(
+        self, details: list[np.ndarray], slot: str
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-thread reusable ``(work, out)`` coefficient buffers.
+
+        ``work`` is refilled with copies of ``details``; ``out`` is
+        zeroed.  One buffer set is kept per ``slot`` (batched vs scalar
+        path) and reused while the coefficient shapes/dtypes repeat --
+        the common case for streaming windows and same-length traces --
+        so a warm call allocates nothing.  Ownership rule: the buffers
+        belong to this thread's *current* call only; they are
+        invalidated by the next call on the same thread.
+        """
+        key = tuple((d.shape, d.dtype.str) for d in details)
+        cached = getattr(self._scratch, slot, None)
+        if cached is not None and cached[0] == key:
+            _, work, out = cached
+            for buf, d in zip(work, details):
+                np.copyto(buf, d)
+            for buf in out:
+                buf.fill(0.0)
+        else:
+            work = [d.copy() for d in details]
+            out = [np.zeros_like(d) for d in details]
+            setattr(self._scratch, slot, (key, work, out))
+        return work, out
 
     def _filter_details(self, details: list[np.ndarray]) -> list[np.ndarray]:
         """Extract signal coefficients scale by scale.
@@ -198,8 +272,7 @@ class SpatiallySelectiveDenoiser:
         """
         if details[0].ndim == 1:
             return self._filter_details_1d(details)
-        work = [d.copy() for d in details]
-        out = [np.zeros_like(d) for d in details]
+        work, out = self._workspace(details, "batched")
         num_levels = len(details)
         for l in range(num_levels):
             neighbour_idx = l + 1 if l + 1 < num_levels else l
@@ -222,9 +295,13 @@ class SpatiallySelectiveDenoiser:
     def _filter_details_1d(
         self, details: list[np.ndarray]
     ) -> list[np.ndarray]:
-        """Scalar (1-D) extract-and-repeat loop."""
-        work = [d.copy() for d in details]
-        out = [np.zeros_like(d) for d in details]
+        """Scalar (1-D) extract-and-repeat loop.
+
+        Shares the per-thread workspace so repeated same-length calls
+        (the per-column reference path iterates one call per channel)
+        stop re-allocating their work/out lists every call.
+        """
+        work, out = self._workspace(details, "scalar")
         num_levels = len(details)
         for l in range(num_levels):
             neighbour_idx = l + 1 if l + 1 < num_levels else l
@@ -254,7 +331,9 @@ class SpatiallySelectiveDenoiser:
         p_w = np.sum(w_l ** 2, axis=0)
         p_corr = np.sum(corr ** 2, axis=0)
         valid = (p_corr > 0.0) & (p_w > 0.0)
-        scale = np.zeros(p_w.shape)
+        # dtype-matched scale: a float64 zeros() here would NEP-50
+        # promote the whole float32 ncorr product back to float64.
+        scale = np.zeros(p_w.shape, dtype=p_w.dtype)
         scale[valid] = np.sqrt(p_w[valid] / p_corr[valid])
         ncorr = corr * scale[None, :]
         return (np.abs(ncorr) >= np.abs(w_l)) & valid[None, :]

@@ -40,6 +40,7 @@ from repro.engine.artifacts import Artifact
 from repro.persist.serialize import (
     IntegrityError,
     deserialize_artifact,
+    payload_array_dtypes,
     serialize_artifact,
 )
 
@@ -179,8 +180,16 @@ class ArtifactStore:
             }
 
     def stats(self) -> dict:
-        """Walk the tree: total/per-stage entry counts and byte sizes."""
-        stages: dict[str, dict[str, int]] = {}
+        """Walk the tree: total/per-stage entry counts, sizes and dtypes.
+
+        Each stage additionally reports how many stored *arrays* it
+        holds per dtype (``{"float64": 12, "float32": 12}``), read from
+        the npz member headers -- the observable for mixed-precision
+        stores, where float32 and float64 runs of the same stage live
+        side by side under distinct cache keys.  Unreadable entries are
+        skipped here exactly as reads treat them (a miss, not a crash).
+        """
+        stages: dict[str, dict] = {}
         total_entries = 0
         total_bytes = 0
         if self._objects.is_dir():
@@ -189,13 +198,23 @@ class ArtifactStore:
                     continue
                 entries = 0
                 size = 0
+                dtypes: dict[str, int] = {}
                 for path in stage_dir.rglob("*" + _ENTRY_SUFFIX):
                     try:
                         size += path.stat().st_size
-                    except OSError:
+                        member_dtypes = payload_array_dtypes(
+                            path.read_bytes()
+                        )
+                    except (IntegrityError, ValueError, KeyError, OSError):
                         continue
                     entries += 1
-                stages[stage_dir.name] = {"entries": entries, "bytes": size}
+                    for dtype in member_dtypes.values():
+                        dtypes[dtype] = dtypes.get(dtype, 0) + 1
+                stages[stage_dir.name] = {
+                    "entries": entries,
+                    "bytes": size,
+                    "dtypes": dict(sorted(dtypes.items())),
+                }
                 total_entries += entries
                 total_bytes += size
         return {

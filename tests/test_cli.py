@@ -119,6 +119,99 @@ class TestRobustnessBench:
         assert args.robustness_output == "ROBUSTNESS_PR5.json"
 
 
+class TestPrecisionBench:
+    def test_registered_outside_all(self):
+        assert "precision-bench" in COMMANDS
+        assert not COMMANDS["precision-bench"].in_all
+
+    def test_options_parsed(self):
+        args = build_parser().parse_args(
+            ["precision-bench", "--smoke", "--precision-output", "p.json",
+             "--precision-baseline", "b.json",
+             "--precision-max-regression", "3.5"]
+        )
+        assert args.smoke is True
+        assert args.precision_output == "p.json"
+        assert args.precision_baseline == "b.json"
+        assert args.precision_max_regression == 3.5
+
+    def test_defaults_are_the_committed_artifact(self):
+        args = build_parser().parse_args(["precision-bench"])
+        assert args.precision_output == "BENCH_PR9.json"
+        assert args.precision_baseline == "BENCH_PR9.json"
+
+
+class TestBenchCompare:
+    def test_registered_outside_all(self):
+        assert "bench-compare" in COMMANDS
+        assert not COMMANDS["bench-compare"].in_all
+
+    def test_options_parsed(self):
+        args = build_parser().parse_args(
+            ["bench-compare", "--compare-old", "a.json",
+             "--compare-new", "b.json", "--compare-threshold", "1.5"]
+        )
+        assert args.compare_old == "a.json"
+        assert args.compare_new == "b.json"
+        assert args.compare_threshold == 1.5
+
+    def test_identical_reports_compare_clean(self, tmp_path, capsys):
+        import json
+
+        report = {
+            "schema": 1,
+            "suites": {
+                "full": {
+                    "denoise": {
+                        "new_s": 0.1, "baseline_s": 0.2, "speedup": 2.0
+                    }
+                }
+            },
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert main(
+            ["bench-compare", "--compare-old", str(path),
+             "--compare-new", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_regressed_report_exits_nonzero(self, tmp_path, capsys):
+        import copy
+        import json
+
+        old = {
+            "schema": 1,
+            "suites": {
+                "full": {
+                    "denoise": {
+                        "new_s": 0.1, "baseline_s": 0.2, "speedup": 2.0
+                    }
+                }
+            },
+        }
+        new = copy.deepcopy(old)
+        new["suites"]["full"]["denoise"]["new_s"] = 0.5
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["bench-compare", "--compare-old", str(old_path),
+                 "--compare-new", str(new_path)]
+            )
+        assert "REGRESSED" in str(excinfo.value)
+
+    def test_missing_report_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a readable"):
+            main(
+                ["bench-compare",
+                 "--compare-old", str(tmp_path / "absent.json"),
+                 "--compare-new", str(tmp_path / "absent.json")]
+            )
+
+
 class TestPersistCommands:
     def test_registered_outside_all(self):
         assert "store" in COMMANDS

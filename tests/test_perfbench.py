@@ -9,9 +9,11 @@ import json
 
 from repro.experiments.perfbench import (
     compare_to_baseline,
+    diff_reports,
     load_report,
-    run_suite,
+    render_diff,
     render_report,
+    run_suite,
     write_report,
 )
 
@@ -72,6 +74,72 @@ class TestRegressionGate:
         assert (
             compare_to_baseline(current, self.BASELINE, "smoke", 0.0) == []
         )
+
+
+class TestDiffReports:
+    def _report(self, **benches):
+        return {"schema": 1, "suites": {"full": benches}}
+
+    def test_unchanged_report_is_all_ok(self):
+        report = self._report(denoise=_result(0.1))
+        diff = diff_reports(report, report)
+        entry = diff["suites"]["full"]["benchmarks"]["denoise"]
+        assert entry["status"] == "ok"
+        assert entry["time_ratio"] == pytest.approx(1.0)
+        assert entry["speedup_delta"] == pytest.approx(0.0)
+
+    def test_regression_and_improvement_flagged(self):
+        old = self._report(a=_result(0.1), b=_result(0.1))
+        new = self._report(a=_result(0.2), b=_result(0.05))
+        benches = diff_reports(old, new)["suites"]["full"]["benchmarks"]
+        assert benches["a"]["status"] == "regressed"
+        assert benches["b"]["status"] == "improved"
+
+    def test_within_threshold_is_ok(self):
+        old = self._report(a=_result(0.1))
+        new = self._report(a=_result(0.11))
+        benches = diff_reports(old, new)["suites"]["full"]["benchmarks"]
+        assert benches["a"]["status"] == "ok"
+
+    def test_added_and_removed_benchmarks_labelled(self):
+        old = self._report(gone=_result(0.1))
+        new = self._report(fresh=_result(0.1))
+        benches = diff_reports(old, new)["suites"]["full"]["benchmarks"]
+        assert benches["gone"]["status"] == "removed"
+        assert benches["fresh"]["status"] == "added"
+
+    def test_suite_on_one_side_only(self):
+        old = {"schema": 1, "suites": {"full": {"a": _result(0.1)}}}
+        new = {"schema": 1, "suites": {"smoke": {"a": _result(0.1)}}}
+        diff = diff_reports(old, new)
+        assert diff["suites"]["full"]["status"] == "removed"
+        assert diff["suites"]["smoke"]["status"] == "added"
+
+    def test_entries_without_timings_not_compared(self):
+        # Reports like BENCH_PR8.json carry benchmark-specific fields
+        # instead of new_s; the diff must pass them through untouched.
+        old = self._report(stream={"first_estimate_packets": 4})
+        new = self._report(stream={"first_estimate_packets": 5})
+        entry = diff_reports(old, new)["suites"]["full"]["benchmarks"]["stream"]
+        assert entry["status"] == "ok"
+        assert "time_ratio" not in entry
+
+    def test_threshold_disabled_reports_without_flagging(self):
+        old = self._report(a=_result(0.1))
+        new = self._report(a=_result(1.0))
+        benches = diff_reports(old, new, threshold=0)["suites"]["full"][
+            "benchmarks"
+        ]
+        assert benches["a"]["status"] == "ok"
+        assert benches["a"]["time_ratio"] == pytest.approx(10.0)
+
+    def test_render_diff_highlights_regressions(self):
+        old = self._report(a=_result(0.1))
+        new = self._report(a=_result(0.5))
+        text = render_diff(diff_reports(old, new), "old.json", "new.json")
+        assert "REGRESSED" in text
+        clean = render_diff(diff_reports(old, old), "old.json", "new.json")
+        assert "no regressions" in clean
 
 
 def test_unknown_mode_rejected():

@@ -21,6 +21,7 @@ from repro.persist.serialize import (
     deserialize_artifact,
     frame,
     pack,
+    payload_array_dtypes,
     serialize_artifact,
     unframe,
     unpack,
@@ -213,6 +214,53 @@ class TestArtifactRoundTrips:
         )
         with pytest.raises(ValueError):
             out.theta_wrapped[0] = 0.0
+
+
+class TestDtypePreservation:
+    """Reduced-precision artifacts survive the codec bit-identically.
+
+    The float32 compute paths cache float32 stage outputs under their
+    own keys; the codec must neither widen them back to float64 nor
+    lose mantissa bits (npz stores members at their native dtype).
+    """
+
+    def test_float32_denoised_trace_round_trips_bit_identically(self):
+        amplitudes = RNG.normal(size=(6, 30, 3)).astype(np.float32)
+        out = _roundtrip(DenoisedTraceArtifact(key="k", amplitudes=amplitudes))
+        assert out.amplitudes.dtype == np.float32
+        assert out.amplitudes.tobytes() == amplitudes.tobytes()
+
+    def test_float32_observables_round_trip_bit_identically(self):
+        artifact = ObservablesArtifact(
+            key="k",
+            pair=(0, 2),
+            theta_wrapped=RNG.normal(size=30).astype(np.float32),
+            neg_log_psi=RNG.normal(size=30).astype(np.float32),
+        )
+        out = _roundtrip(artifact)
+        assert out.theta_wrapped.dtype == np.float32
+        assert out.neg_log_psi.dtype == np.float32
+        assert np.array_equal(out.theta_wrapped, artifact.theta_wrapped)
+        assert np.array_equal(out.neg_log_psi, artifact.neg_log_psi)
+
+    def test_payload_array_dtypes_reports_members(self):
+        data = serialize_artifact(
+            DenoisedTraceArtifact(
+                key="k",
+                amplitudes=RNG.normal(size=(4, 30, 3)).astype(np.float32),
+            )
+        )
+        assert payload_array_dtypes(data) == {"amplitudes": "float32"}
+
+    def test_payload_array_dtypes_rejects_damage(self):
+        data = bytearray(
+            serialize_artifact(
+                DenoisedTraceArtifact(key="k", amplitudes=RNG.normal(size=(2, 4)))
+            )
+        )
+        data[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            payload_array_dtypes(bytes(data))
 
 
 class TestUnknownTypes:

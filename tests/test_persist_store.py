@@ -132,6 +132,28 @@ class TestStatsAndGc:
         assert stats["stages"]["stage_b"]["entries"] == 1
         assert stats["bytes"] > 0
 
+    def test_stats_reports_stored_array_dtypes(self, tmp_path):
+        # Mixed-precision store: float64 and float32 runs of one stage
+        # coexist (distinct keys) and both precisions are visible.
+        store = ArtifactStore(tmp_path / "store")
+        store.put(STAGE, "k64", _artifact(key="k64"))
+        rng = np.random.default_rng(5)
+        f32 = DenoisedTraceArtifact(
+            key="k32", amplitudes=rng.normal(size=(4, 8, 3)).astype(np.float32)
+        )
+        store.put(STAGE, "k32", f32)
+        dtypes = store.stats()["stages"][STAGE]["dtypes"]
+        assert dtypes == {"float32": 1, "float64": 1}
+
+    def test_stats_skips_unreadable_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(STAGE, "good", _artifact(key="good"))
+        store.put(STAGE, "bad", _artifact(key="bad", seed=1))
+        truncate_file(store.path_for(STAGE, "bad"), keep_fraction=0.2)
+        stats = store.stats()
+        assert stats["stages"][STAGE]["entries"] == 1
+        assert stats["stages"][STAGE]["dtypes"] == {"float64": 1}
+
     def test_stats_on_empty_store(self, tmp_path):
         stats = ArtifactStore(tmp_path / "never-created").stats()
         assert stats["entries"] == 0
