@@ -516,6 +516,11 @@ def _store(args) -> str:
         f"artifact store at {stats['root']}",
         f"  {stats['entries']} entries, {stats['bytes']} bytes",
     ]
+    if stats["quarantine"]["entries"]:
+        lines.append(
+            f"  quarantine: {stats['quarantine']['entries']} entr(ies), "
+            f"{stats['quarantine']['bytes']} bytes"
+        )
     if stats["stages"]:
         width = max(len(s) for s in stats["stages"])
         for stage, info in stats["stages"].items():
@@ -534,7 +539,8 @@ def _store(args) -> str:
         removed = store.gc()
         lines.append(
             f"  gc: removed {removed['tmp_removed']} temp file(s), "
-            f"{removed['corrupt_removed']} corrupt entr(ies)"
+            f"{removed['corrupt_removed']} corrupt entr(ies), "
+            f"{removed['quarantine_removed']} quarantined entr(ies)"
         )
     return "\n".join(lines)
 
@@ -588,6 +594,36 @@ def _cluster_bench(args) -> str:
     clusterbench.write_report(args.cluster_output, results)
     report = clusterbench.render_report(results)
     report += f"\n  report written to {args.cluster_output}"
+    return report
+
+
+def _soak_bench(args) -> str:
+    """``repro soak-bench``: chaos soak of the failure-control plane.
+
+    Drives one sharded cluster through the scripted chaos schedule
+    (kills, store bit-flips, load spikes, deadline abuse, hedging) and
+    writes the committed JSON artifact (``--soak-output``).  Exits
+    non-zero unless every gate holds: zero lost requests, fault-free
+    predictions, and every resilience mechanism observed firing.
+    ``--smoke`` shrinks the workload to CI size.
+    """
+    from repro.experiments import soakbench
+
+    repetitions = (
+        soakbench.SMOKE_REPETITIONS if args.smoke
+        else soakbench.DEFAULT_REPETITIONS
+    )
+    results = soakbench.run_soak_bench(
+        seed=args.seed,
+        repetitions=repetitions,
+        workers=args.workers,
+        progress=lambda name: print(f"  {name}...", flush=True),
+    )
+    soakbench.write_report(args.soak_output, results)
+    report = soakbench.render_report(results)
+    report += f"\n  report written to {args.soak_output}"
+    if not results["gates_passed"]:
+        raise SystemExit(report)
     return report
 
 
@@ -656,6 +692,10 @@ COMMANDS: dict[str, Command] = {
         _warm_bench, "cold train-and-serve vs registry warm start",
         in_all=False,
     ),
+    "soak-bench": Command(
+        _soak_bench, "chaos soak of the failure-control plane",
+        in_all=False,
+    ),
 }
 
 
@@ -709,6 +749,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--cluster-output", default="BENCH_PR7.json",
         help="cluster-bench JSON artifact to write (default BENCH_PR7.json)",
+    )
+    soak = parser.add_argument_group("soak-bench options")
+    soak.add_argument(
+        "--soak-output", default="SOAK_PR10.json",
+        help="soak-bench JSON artifact to write (default SOAK_PR10.json)",
     )
     perf = parser.add_argument_group("perf-bench options")
     perf.add_argument(

@@ -77,6 +77,12 @@ class Envelope:
         submitted_ts: Wall-clock submit time (worker-side queue-wait
             accounting; the parent keeps its own monotonic clock for
             latency).
+        priority: Load-shedding class (0 = normal, negative =
+            best-effort, positive = protected); workers shed low
+            priorities first under pressure.
+        hedged: Whether this delivery is a speculative (hedged) copy
+            published to a sibling shard while the original is still in
+            flight; informational -- dedup is by request_id.
     """
 
     request_id: str
@@ -85,6 +91,8 @@ class Envelope:
     deadline_ts: float | None = None
     attempts: int = 0
     submitted_ts: float = field(default_factory=time.time)
+    priority: int = 0
+    hedged: bool = False
 
     def expired(self, now: float | None = None) -> bool:
         """Whether the wall-clock deadline has passed."""
@@ -95,6 +103,14 @@ class Envelope:
     def redelivered(self) -> "Envelope":
         """A copy with the delivery attempt counter bumped."""
         return replace(self, attempts=self.attempts + 1)
+
+    def hedged_to(self, shard: int) -> "Envelope":
+        """A speculative copy routed to a sibling shard.
+
+        Attempts are *not* bumped: a hedge is not a failure redelivery,
+        so it must not eat into the crash-redelivery budget.
+        """
+        return replace(self, shard=shard, hedged=True)
 
 
 @dataclass

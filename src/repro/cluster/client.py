@@ -95,15 +95,33 @@ class ClusterClient:
 
     # -- request path --------------------------------------------------
 
-    def submit(self, session, timeout: float | None = None) -> RequestHandle:
-        """Enqueue one session; returns a :class:`RequestHandle`."""
-        return self.orchestrator.submit(session, timeout=timeout)
+    def submit(
+        self,
+        session,
+        timeout: float | None = None,
+        priority: int = 0,
+    ) -> RequestHandle:
+        """Enqueue one session; returns a :class:`RequestHandle`.
+
+        Raises the same typed, retryable errors as the orchestrator:
+        :class:`repro.serve.QueueFullError` on backpressure and
+        :class:`repro.serve.OverloadError` when the adaptive shedder
+        refuses this priority class.
+        """
+        return self.orchestrator.submit(
+            session, timeout=timeout, priority=priority
+        )
 
     def submit_many(
-        self, sessions: list, timeout: float | None = None
+        self,
+        sessions: list,
+        timeout: float | None = None,
+        priority: int = 0,
     ) -> list[RequestHandle]:
         """Submit several sessions; aborts at the first full queue."""
-        return self.orchestrator.submit_many(sessions, timeout=timeout)
+        return self.orchestrator.submit_many(
+            sessions, timeout=timeout, priority=priority
+        )
 
     def identify(self, session, timeout: float | None = None) -> str:
         """Synchronous convenience: submit and wait for the label."""

@@ -50,9 +50,11 @@ from repro.cluster.broker import (
 )
 from repro.cluster.worker import WorkerBoot, worker_main
 from repro.engine.artifacts import session_fingerprint
+from repro.resilience import Backoff, CircuitBreaker, LoadShedder
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.service import (
     DeadlineExceededError,
+    OverloadError,
     QueueFullError,
     RequestHandle,
     ServeError,
@@ -103,6 +105,33 @@ class ClusterConfig:
             for every worker's first heartbeat.
         throttle_s: Artificial per-request worker service time
             (benchmark / chaos-test hook; 0 in production).
+        redelivery_backoff_base_s: First-redelivery backoff ceiling;
+            redeliveries are deferred by a full-jittered exponential
+            delay (per envelope attempt) so a crashing shard's backlog
+            cannot re-land on its replacement in one synchronized wave.
+        redelivery_backoff_max_s: Cap on any single redelivery delay.
+        breaker_failure_threshold: Consecutive worker failures (crash /
+            stale heartbeat) after which a shard's circuit breaker
+            opens and new keys divert to ring neighbours.
+        breaker_open_duration_s: Cool-down before an open breaker
+            admits half-open trial traffic; a successful reply from the
+            shard closes it again.
+        hedge_after_s: Age at which an unresolved request is hedged
+            (speculatively re-published to a sibling shard; first reply
+            wins).  ``None`` adapts the threshold to
+            ``hedge_latency_factor`` x the observed p95 latency once
+            ``hedge_min_observations`` requests have completed.
+        hedge_latency_factor: Multiplier on p95 for the adaptive
+            hedge threshold.
+        hedge_min_observations: Completed requests required before
+            adaptive hedging arms itself.
+        shed_latency_threshold_ms: Cluster latency EWMA mapping to
+            shedder pressure 1.0 (None = depth-only shedding).
+        shed_base_pressure: Pressure above which priority-0 submits are
+            shed with :class:`repro.serve.OverloadError`; the default
+            1.0 leaves priority-0 depth behaviour unchanged.
+        shed_priority_step: Shed-threshold shift per priority unit.
+        shed_ewma_alpha: Smoothing factor of the latency EWMA.
     """
 
     num_workers: int = 2
@@ -117,6 +146,17 @@ class ClusterConfig:
     shard_vnodes: int = 64
     boot_timeout_s: float = 60.0
     throttle_s: float = 0.0
+    redelivery_backoff_base_s: float = 0.05
+    redelivery_backoff_max_s: float = 1.0
+    breaker_failure_threshold: int = 3
+    breaker_open_duration_s: float = 5.0
+    hedge_after_s: float | None = None
+    hedge_latency_factor: float = 3.0
+    hedge_min_observations: int = 20
+    shed_latency_threshold_ms: float | None = None
+    shed_base_pressure: float = 1.0
+    shed_priority_step: float = 0.15
+    shed_ewma_alpha: float = 0.2
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -144,17 +184,43 @@ class ClusterConfig:
             raise ValueError(
                 f"max_redeliveries must be >= 0, got {self.max_redeliveries}"
             )
+        if self.redelivery_backoff_base_s < 0:
+            raise ValueError(
+                "redelivery_backoff_base_s must be >= 0, got "
+                f"{self.redelivery_backoff_base_s}"
+            )
+        if self.redelivery_backoff_max_s < self.redelivery_backoff_base_s:
+            raise ValueError(
+                f"redelivery_backoff_max_s ({self.redelivery_backoff_max_s}) "
+                "must be >= redelivery_backoff_base_s "
+                f"({self.redelivery_backoff_base_s})"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                "breaker_failure_threshold must be >= 1, got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ValueError(
+                f"hedge_after_s must be > 0 or None, got {self.hedge_after_s}"
+            )
+        if self.hedge_latency_factor <= 0:
+            raise ValueError(
+                "hedge_latency_factor must be > 0, got "
+                f"{self.hedge_latency_factor}"
+            )
 
 
 class _Pending:
     """Parent-side bookkeeping of one unresolved request."""
 
-    __slots__ = ("envelope", "handle", "submitted_mono")
+    __slots__ = ("envelope", "handle", "submitted_mono", "hedged")
 
     def __init__(self, envelope: Envelope, handle: RequestHandle):
         self.envelope = envelope
         self.handle = handle
         self.submitted_mono = time.monotonic()
+        self.hedged = False
 
 
 class _WorkerSlot:
@@ -169,7 +235,16 @@ class _WorkerSlot:
         self.restarts = 0
         self.failed = False
         self.boot_error: str | None = None
-        self.metrics: dict = {}
+        #: Latest metrics beat per worker incarnation.  Keeping dead
+        #: incarnations' final beats means a restart does not erase the
+        #: work that incarnation served; the source-stamped snapshots
+        #: dedup (not double-count) in ``MetricsRegistry.merge``.
+        self.metrics_by_worker: dict[str, dict] = {}
+
+    @property
+    def metrics(self) -> dict:
+        """The current incarnation's latest beat (legacy accessor)."""
+        return self.metrics_by_worker.get(self.worker_id, {})
 
     @property
     def alive(self) -> bool:
@@ -213,12 +288,15 @@ class Orchestrator:
         self.metrics = MetricsRegistry()
         for name in (
             "requests.submitted", "requests.completed", "requests.failed",
-            "requests.rejected", "requests.expired",
+            "requests.rejected", "requests.expired", "requests.shed",
+            "deadline.expired_admission",
             "cluster.restarts", "cluster.redeliveries",
             "cluster.duplicate_replies", "cluster.shards_failed",
+            "cluster.hedges",
+            "breaker.opened", "breaker.closed", "breaker.diverted",
         ):
             self.metrics.counter(name)
-        self.metrics.histogram("latency_ms")
+        self._latency_hist = self.metrics.histogram("latency_ms")
 
         self._slots = {
             shard: _WorkerSlot(shard)
@@ -235,6 +313,34 @@ class Orchestrator:
         self._started = False
         self._stopped = False
         self._threads: list[threading.Thread] = []
+        self._shedder = LoadShedder(
+            capacity=self.config.queue_capacity,
+            latency_threshold_ms=self.config.shed_latency_threshold_ms,
+            ewma_alpha=self.config.shed_ewma_alpha,
+            base_pressure=self.config.shed_base_pressure,
+            priority_step=self.config.shed_priority_step,
+        )
+        self._redelivery_backoff = Backoff(
+            base_s=self.config.redelivery_backoff_base_s,
+            max_s=self.config.redelivery_backoff_max_s,
+        )
+        #: Redeliveries waiting out their backoff: (due_mono, envelope),
+        #: published by the monitor loop once due.
+        self._deferred: list[tuple[float, Envelope]] = []
+        self._breakers = {
+            shard: CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                open_duration_s=self.config.breaker_open_duration_s,
+                on_transition=self._breaker_transition,
+            )
+            for shard in self._slots
+        }
+
+    def _breaker_transition(self, old_state: str, new_state: str) -> None:
+        if new_state == "open":
+            self.metrics.counter("breaker.opened").inc()
+        elif new_state == "closed":
+            self.metrics.counter("breaker.closed").inc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -403,9 +509,15 @@ class Orchestrator:
         handle.attempts = reply.attempts
         handle.batch_size = reply.batch_size
         handle.latency_s = time.monotonic() - pending.submitted_mono
-        self.metrics.histogram("latency_ms").observe(
-            handle.latency_s * 1000.0
-        )
+        latency_ms = handle.latency_s * 1000.0
+        self._latency_hist.observe(latency_ms)
+        self._shedder.observe_latency(latency_ms)
+        # Any reply -- even an error-typed one -- is evidence the shard's
+        # worker is alive and serving; this is what closes a half-open
+        # breaker after its trial request comes back.
+        breaker = self._breakers.get(reply.shard)
+        if breaker is not None:
+            breaker.record_success()
         if reply.ok:
             self.metrics.counter("requests.completed").inc()
             handle._resolve(reply.label)
@@ -413,6 +525,15 @@ class Orchestrator:
         if reply.error_type == "DeadlineExceededError":
             self.metrics.counter("requests.expired").inc()
             error: BaseException = DeadlineExceededError(reply.error)
+        elif reply.error_type in ("QueueFullError", "OverloadError"):
+            # Worker-side overload must stay typed and retryable across
+            # the process boundary so callers can tell it from poison.
+            typed = (
+                QueueFullError
+                if reply.error_type == "QueueFullError"
+                else OverloadError
+            )
+            error = typed(f"{reply.error} (worker {reply.worker})")
         else:
             error = RemoteError(
                 f"{reply.error_type}: {reply.error} "
@@ -426,6 +547,8 @@ class Orchestrator:
     def _monitor_loop(self) -> None:
         while not self._stop.wait(_MONITOR_POLL_S):
             self._drain_heartbeats()
+            self._flush_deferred()
+            self._maybe_hedge()
             now = time.monotonic()
             for slot in list(self._slots.values()):
                 if slot.failed or slot.process is None:
@@ -453,13 +576,16 @@ class Orchestrator:
                 continue  # liveness handled by process exit
             slot.last_beat_mono = time.monotonic()
             slot.ready = True
-            slot.metrics = beat.metrics
+            slot.metrics_by_worker[beat.worker] = beat.metrics
 
     def _recover(self, slot: _WorkerSlot, reason: str) -> None:
         """Restart a dead/wedged worker and redeliver its requests."""
         if slot.process is not None and slot.process.is_alive():
             slot.process.kill()  # wedged: reclaim the shard queue
             slot.process.join(timeout=5.0)
+        # A crash/stall is breaker evidence: enough consecutive ones
+        # open the shard's circuit and divert new keys to neighbours.
+        self._breakers[slot.shard].record_failure()
         # Fresh channels before the replacement spawns: the dead worker
         # may have died holding queue locks, so its channels are junk.
         salvaged = self.broker.reset_shard(slot.shard)
@@ -472,12 +598,18 @@ class Orchestrator:
         self._redeliver(slot.shard, salvaged)
 
     def _redeliver(self, shard: int, salvaged: list[Envelope]) -> None:
-        """Re-publish every unresolved envelope routed to ``shard``.
+        """Re-queue every unresolved envelope routed to ``shard``.
 
         Salvaged envelopes (still queued, never picked up) are
-        re-published as-is; envelopes that were in flight on the dead
-        worker get their attempt counter bumped and fail permanently
-        once the redelivery budget is spent.  Duplicates are harmless:
+        re-published immediately -- they were never part of the crash,
+        so replaying them cannot re-trigger it.  Envelopes that were in
+        flight on the dead worker get their attempt counter bumped and
+        are *deferred* by a full-jittered exponential backoff (keyed to
+        the attempt) before the monitor loop re-publishes them: if one
+        of them is the poison that killed the worker, an immediate
+        synchronized replay would re-kill the replacement in a
+        redelivery storm.  A request fails permanently once the
+        redelivery budget is spent.  Duplicates are harmless:
         identification is deterministic and the reply collector keeps
         the first resolution.
         """
@@ -490,6 +622,8 @@ class Orchestrator:
             ]
         for envelope in salvaged:
             self.broker.publish(envelope)
+        now = time.monotonic()
+        deferred = []
         for pending in in_flight:
             envelope = pending.envelope.redelivered()
             if envelope.attempts > self.config.max_redeliveries:
@@ -506,7 +640,84 @@ class Orchestrator:
                 continue
             pending.envelope = envelope
             self.metrics.counter("cluster.redeliveries").inc()
+            delay = self._redelivery_backoff.delay(envelope.attempts - 1)
+            deferred.append((now + delay, envelope))
+        if deferred:
+            with self._lock:
+                self._deferred.extend(deferred)
+
+    def _flush_deferred(self) -> None:
+        """Publish deferred redeliveries whose backoff has elapsed."""
+        now = time.monotonic()
+        due = []
+        with self._lock:
+            if not self._deferred:
+                return
+            remaining = []
+            for due_mono, envelope in self._deferred:
+                if due_mono > now:
+                    remaining.append((due_mono, envelope))
+                elif envelope.request_id in self._pending:
+                    due.append(envelope)
+                # else: resolved while waiting out the backoff -- drop.
+            self._deferred = remaining
+        for envelope in due:
             self.broker.publish(envelope)
+
+    def _hedge_threshold_s(self) -> float | None:
+        """Age beyond which an in-flight request gets a hedged copy."""
+        if self.config.hedge_after_s is not None:
+            return self.config.hedge_after_s
+        snap = self._latency_hist.snapshot()
+        if snap["count"] < self.config.hedge_min_observations:
+            return None
+        p95_s = snap["p95"] / 1000.0
+        if p95_s <= 0:
+            return None
+        return p95_s * self.config.hedge_latency_factor
+
+    def _maybe_hedge(self) -> None:
+        """Speculatively re-publish the slowest in-flight requests.
+
+        A request older than the hedge threshold gets one copy on a
+        sibling shard; whichever worker answers first wins and the
+        loser's reply is dropped by the dedup in :meth:`_resolve`.
+        This converts a stuck/slow shard's tail latency into one extra
+        (deterministic, side-effect-free) computation.
+        """
+        threshold = self._hedge_threshold_s()
+        if threshold is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            live = sorted(
+                shard for shard in self._ring.shards
+                if not self._slots[shard].failed
+            )
+            if len(live) < 2:
+                return
+            stale = [
+                p for p in self._pending.values()
+                if not p.hedged and now - p.submitted_mono >= threshold
+            ]
+            for pending in stale:
+                pending.hedged = True
+        for pending in stale:
+            sibling = self._sibling(pending.envelope.shard, live)
+            if sibling is None:
+                continue
+            self.metrics.counter("cluster.hedges").inc()
+            self.broker.publish(pending.envelope.hedged_to(sibling))
+
+    def _sibling(self, shard: int, live: list[int]) -> int | None:
+        """The next live shard after ``shard`` in ring order."""
+        candidates = [s for s in live if s != shard]
+        if not candidates:
+            return None
+        for candidate in candidates:
+            if candidate > shard:
+                return candidate
+        return candidates[0]
 
     def _abandon(
         self, slot: _WorkerSlot, reason: str, salvaged: list[Envelope]
@@ -537,12 +748,29 @@ class Orchestrator:
     # Request path
     # ------------------------------------------------------------------
 
-    def submit(self, session, timeout: float | None = None) -> RequestHandle:
+    def submit(
+        self,
+        session,
+        timeout: float | None = None,
+        priority: int = 0,
+    ) -> RequestHandle:
         """Enqueue one session; returns a :class:`RequestHandle`.
+
+        Args:
+            session: The capture session to identify.
+            timeout: Deadline in seconds (falls back to
+                ``config.default_timeout_s``); travels in the envelope
+                as a wall-clock instant and is enforced at admission,
+                worker dequeue and every pipeline stage boundary.  A
+                non-positive timeout is rejected at admission without
+                publishing.
+            priority: Shedding class (0 = normal, negative =
+                best-effort, positive = protected).
 
         Raises:
             QueueFullError: More than ``config.queue_capacity``
                 requests are unresolved (explicit backpressure).
+            OverloadError: The adaptive shedder refused this priority.
             ServiceStoppedError: The cluster is not running.
         """
         if not self.is_running:
@@ -553,6 +781,13 @@ class Orchestrator:
             timeout if timeout is not None else self.config.default_timeout_s
         )
         handle = RequestHandle()
+        if effective is not None and effective <= 0:
+            self.metrics.counter("deadline.expired_admission").inc()
+            self.metrics.counter("requests.expired").inc()
+            handle._fail(
+                DeadlineExceededError("deadline expired before admission")
+            )
+            return handle
         with self._lock:
             if len(self._pending) >= self.config.queue_capacity:
                 self.metrics.counter("requests.rejected").inc()
@@ -560,7 +795,13 @@ class Orchestrator:
                     f"{len(self._pending)} requests in flight "
                     f"(capacity {self.config.queue_capacity}); retry later"
                 )
-            shard = self._ring.route(session_fingerprint(session))
+            if not self._shedder.admit(len(self._pending), priority):
+                self.metrics.counter("requests.shed").inc()
+                raise OverloadError(
+                    f"shed at priority {priority} (pressure "
+                    f"{self._shedder.pressure(len(self._pending)):.2f})"
+                )
+            shard = self._route(session_fingerprint(session))
             envelope = Envelope(
                 request_id=f"r{os.getpid()}-{next(self._ids)}",
                 session=session,
@@ -568,17 +809,51 @@ class Orchestrator:
                 deadline_ts=(
                     None if effective is None else time.time() + effective
                 ),
+                priority=priority,
             )
             self._pending[envelope.request_id] = _Pending(envelope, handle)
         self.metrics.counter("requests.submitted").inc()
         self.broker.publish(envelope)
         return handle
 
+    def _route(self, key: str) -> int:
+        """Ring-route ``key``, diverting around open circuit breakers.
+
+        The consistent-hash primary wins whenever its breaker admits
+        traffic (cache locality).  While the primary's circuit is open
+        the key diverts to the next live shard in ring order whose
+        breaker allows -- colder caches, but no waiting behind a shard
+        that keeps crashing.  If every breaker refuses, the primary is
+        used anyway (total refusal would just turn brownout into
+        blackout).  Lock held by the caller.
+        """
+        primary = self._ring.route(key)
+        if self._breakers[primary].allow():
+            return primary
+        live = sorted(
+            shard for shard in self._ring.shards
+            if not self._slots[shard].failed and shard != primary
+        )
+        ordered = (
+            [s for s in live if s > primary] + [s for s in live if s < primary]
+        )
+        for candidate in ordered:
+            if self._breakers[candidate].allow():
+                self.metrics.counter("breaker.diverted").inc()
+                return candidate
+        return primary
+
     def submit_many(
-        self, sessions: list, timeout: float | None = None
+        self,
+        sessions: list,
+        timeout: float | None = None,
+        priority: int = 0,
     ) -> list[RequestHandle]:
         """Submit several sessions; aborts at the first full queue."""
-        return [self.submit(session, timeout=timeout) for session in sessions]
+        return [
+            self.submit(session, timeout=timeout, priority=priority)
+            for session in sessions
+        ]
 
     def identify(self, session, timeout: float | None = None) -> str:
         """Synchronous convenience: submit and wait for the label."""
@@ -589,16 +864,29 @@ class Orchestrator:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Cluster counters + per-worker and merged worker metrics."""
+        """Cluster counters + per-worker and merged worker metrics.
+
+        Every worker *incarnation* ever heard from contributes (a
+        restarted shard does not erase its predecessor's served work);
+        :meth:`MetricsRegistry.merge` deduplicates stamped snapshots
+        per (worker, epoch) so re-sent heartbeats never double-count.
+        """
         with self._lock:
             slots = list(self._slots.values())
             pending = len(self._pending)
-        worker_snaps = {
-            slot.worker_id: slot.metrics for slot in slots if slot.metrics
-        }
+            deferred = len(self._deferred)
+        worker_snaps: dict[str, dict] = {}
+        for slot in slots:
+            worker_snaps.update(slot.metrics_by_worker)
         return {
             "cluster": self.metrics.snapshot(),
             "pending": pending,
+            "deferred": deferred,
+            "load_shedder": self._shedder.snapshot(),
+            "breakers": {
+                shard: breaker.snapshot()
+                for shard, breaker in sorted(self._breakers.items())
+            },
             "shards": {
                 slot.shard: {
                     "worker": slot.worker_id,
@@ -610,5 +898,7 @@ class Orchestrator:
                 for slot in slots
             },
             "workers": worker_snaps,
-            "merged": MetricsRegistry.merge(worker_snaps.values()),
+            "merged": MetricsRegistry.merge(
+                snap for _, snap in sorted(worker_snaps.items())
+            ),
         }

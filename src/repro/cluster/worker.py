@@ -48,6 +48,7 @@ from repro.cluster.broker import (
     Reply,
     Shutdown,
 )
+from repro.resilience import Deadline, DeadlineExpiredError, deadline_scope
 
 #: How often the consume loop re-checks for work / drain (seconds).
 _IDLE_POLL_S = 0.02
@@ -103,6 +104,7 @@ class _WorkerRuntime:
         for name in (
             "requests.completed", "requests.failed", "requests.expired",
             "requests.redelivered", "clock.skew_clamped",
+            "deadline.expired_dequeue", "deadline.expired_stage",
         ):
             self.metrics.counter(name)
         self.draining = threading.Event()
@@ -123,10 +125,20 @@ class _WorkerRuntime:
     # ------------------------------------------------------------------
 
     def beat(self, state: str) -> None:
-        """Send one heartbeat carrying the current metrics snapshot."""
+        """Send one heartbeat carrying the current metrics snapshot.
+
+        The snapshot is *source-stamped* with ``(worker_id, seq)`` --
+        the worker id already encodes the incarnation epoch
+        (``worker-0.1``, ``worker-0.2``, ...) -- so the orchestrator's
+        :meth:`MetricsRegistry.merge` can keep the latest snapshot per
+        incarnation and drop re-sent beats instead of double-counting.
+        Artifact-store counters are mirrored as gauges first so
+        quarantine/heal activity is visible in merged snapshots.
+        """
         self._beat_seq += 1
         import os
 
+        self._mirror_store_gauges()
         self.endpoint.send_heartbeat(
             Heartbeat(
                 worker=self.worker_id,
@@ -134,9 +146,21 @@ class _WorkerRuntime:
                 pid=os.getpid(),
                 seq=self._beat_seq,
                 state=state,
-                metrics=self.metrics.snapshot(),
+                metrics=self.metrics.snapshot(
+                    source=self.worker_id, seq=self._beat_seq
+                ),
             )
         )
+
+    def _mirror_store_gauges(self) -> None:
+        store = getattr(self.wimi.cache, "disk_store", None)
+        if store is None:
+            return
+        counters = store.counters()
+        for name in ("quarantined", "healed", "corrupt"):
+            self.metrics.gauge(f"store.{name}").set(
+                float(counters.get(name, 0))
+            )
 
     def _collect(self) -> tuple[list[Envelope], bool]:
         """One micro-batch; returns (batch, keep_running)."""
@@ -196,6 +220,7 @@ class _WorkerRuntime:
             self.metrics.histogram("queue_wait_ms").observe(wait_s * 1000.0)
             if envelope.expired(wall_now):
                 self.metrics.counter("requests.expired").inc()
+                self.metrics.counter("deadline.expired_dequeue").inc()
                 self._reply_error(
                     envelope,
                     "DeadlineExceededError",
@@ -211,12 +236,33 @@ class _WorkerRuntime:
             time.sleep(self.boot.throttle_s * len(live))
         started = time.monotonic()
         try:
-            labels = self.wimi.identify_batch([e.session for e in live])
+            # The engine runs under the tightest member deadline
+            # (wall-clock: envelope deadlines cross processes);
+            # stage boundaries call check_deadline(), so a batch
+            # that cannot finish in time aborts to the isolated
+            # path below where each envelope's own deadline rules.
+            with deadline_scope(self._batch_deadline(live)):
+                labels = self.wimi.identify_batch([e.session for e in live])
             if len(labels) != len(live):
                 raise RuntimeError(
                     f"engine returned {len(labels)} labels for "
                     f"{len(live)} sessions"
                 )
+        except DeadlineExpiredError:
+            now = time.time()
+            for envelope in live:
+                if envelope.expired(now):
+                    self.metrics.counter("requests.expired").inc()
+                    self.metrics.counter("deadline.expired_stage").inc()
+                    self._reply_error(
+                        envelope,
+                        "DeadlineExceededError",
+                        "deadline expired mid-pipeline",
+                        batch_size=len(live),
+                    )
+                else:
+                    self._run_isolated(envelope, len(live))
+            return
         except Exception:
             # Batch path failed: isolate per request so a poisoned
             # session fails alone (same contract as the thread pool).
@@ -230,10 +276,36 @@ class _WorkerRuntime:
                 handle_ms=handle_ms,
             )
 
+    @staticmethod
+    def _batch_deadline(live: list[Envelope]) -> Deadline | None:
+        """Tightest member deadline as a wall-clock Deadline, if any."""
+        stamps = [
+            e.deadline_ts for e in live if e.deadline_ts is not None
+        ]
+        if not stamps:
+            return None
+        return Deadline.at_wall(min(stamps))
+
     def _run_isolated(self, envelope: Envelope, batch_size: int) -> None:
         started = time.monotonic()
         try:
-            label = self.wimi.identify(envelope.session)
+            scope = (
+                Deadline.at_wall(envelope.deadline_ts)
+                if envelope.deadline_ts is not None
+                else None
+            )
+            with deadline_scope(scope):
+                label = self.wimi.identify(envelope.session)
+        except DeadlineExpiredError:
+            self.metrics.counter("requests.expired").inc()
+            self.metrics.counter("deadline.expired_stage").inc()
+            self._reply_error(
+                envelope,
+                "DeadlineExceededError",
+                "deadline expired mid-pipeline",
+                batch_size=batch_size,
+            )
+            return
         except Exception as error:  # noqa: BLE001 - isolation boundary
             self.metrics.counter("requests.failed").inc()
             self.metrics.counter(f"faults.{type(error).__name__}").inc()

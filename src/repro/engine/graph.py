@@ -47,6 +47,7 @@ from repro.engine.artifacts import (
     trace_fingerprint,
 )
 from repro.engine.cache import TIER_COMPUTE, StageCache, StageEvent
+from repro.resilience.deadline import check_deadline
 from repro.engine.stages import (
     AMPLITUDE_DENOISE,
     CLASSIFY,
@@ -122,7 +123,15 @@ class PipelineEngine:
         return key
 
     def _resolve(self, spec: StageSpec, key: str, compute: Callable[[], object]):
-        artifact, tier = self.cache.resolve_tier(spec.name, key, compute)
+        def guarded_compute():
+            # Deadline checkpoint at the stage boundary: a request whose
+            # ambient deadline (repro.resilience.deadline_scope) already
+            # lapsed stops here instead of executing the stage.  Cached
+            # artifacts still resolve -- serving a hit costs nothing.
+            check_deadline(spec.name)
+            return compute()
+
+        artifact, tier = self.cache.resolve_tier(spec.name, key, guarded_compute)
         if self._hooks:
             event = StageEvent(
                 stage=spec.name,

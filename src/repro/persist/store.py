@@ -5,6 +5,7 @@ Layout (all under one root directory)::
 
     <root>/
       objects/<stage>/<digest[:2]>/<digest>.art    framed artifact files
+      quarantine/<stage>/<digest>.art              verify-failed entries
       *.tmp                                        in-flight writes
 
 where ``digest`` is the blake2b-128 hex of ``stage + "\\0" + key`` --
@@ -23,6 +24,13 @@ Concurrency contract (the part ``parallel_map`` fleets depend on):
   (magic + digest) and the recorded (stage, key); any mismatch --
   truncation, bit flips, a foreign file dropped into the tree -- is
   counted and reported as a miss, never an exception.
+* **Corruption is quarantined.** A verify-failed entry is *moved* to
+  ``quarantine/`` in the same get, so known-bad bytes are never re-read
+  (later gets are plain not-found misses, not repeated verification of
+  garbage) and the address is freed for the self-heal path: the miss
+  triggers a recompute, whose put lands a fresh valid entry
+  (``healed`` counts such re-puts of previously quarantined
+  addresses).
 
 The store deliberately has **no index file**: the filesystem tree is
 the index, so there is nothing to lock and nothing to corrupt.
@@ -71,12 +79,18 @@ class ArtifactStore:
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
         self._objects = self.root / "objects"
+        self._quarantine = self.root / "quarantine"
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
         self.errors = 0
+        self.quarantined = 0
+        self.healed = 0
+        #: Addresses quarantined by this process, pending self-heal
+        #: (a later put of the same address counts as ``healed``).
+        self._pending_heal: set[str] = set()
 
     # ------------------------------------------------------------------
     # Addressing
@@ -108,21 +122,48 @@ class ArtifactStore:
         try:
             artifact = deserialize_artifact(data)
         except (IntegrityError, ValueError, KeyError, OSError):
-            # Truncated, bit-flipped, or foreign file: treat as a miss.
-            with self._lock:
-                self.corrupt += 1
-                self.misses += 1
+            # Truncated, bit-flipped, or foreign file: treat as a miss
+            # and quarantine the bytes so they are never re-read.
+            self._quarantine_entry(stage, key, path)
             return None
         if artifact.key != key:
             # An address collision or a file moved by hand; do not
             # serve an artifact for a key it was not computed under.
-            with self._lock:
-                self.corrupt += 1
-                self.misses += 1
+            self._quarantine_entry(stage, key, path)
             return None
         with self._lock:
             self.hits += 1
         return artifact
+
+    def _quarantine_entry(self, stage: str, key: str, path: Path) -> None:
+        """Move a verify-failed entry out of the addressable tree.
+
+        ``os.replace`` keeps this race-safe: if two readers hit the
+        same bad entry, one move wins and the loser's (FileNotFoundError)
+        is ignored -- either way the address is freed, so the caller's
+        miss triggers a recompute whose put self-heals the entry.
+        """
+        moved = already_gone = False
+        dest = self._quarantine / stage / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            moved = True
+        except FileNotFoundError:
+            already_gone = True  # a concurrent reader quarantined it first
+        except OSError:
+            # Could not move (e.g. permissions): fall back to the old
+            # behaviour -- the entry stays and will re-verify-fail.
+            pass
+        with self._lock:
+            self.corrupt += 1
+            self.misses += 1
+            if moved:
+                self.quarantined += 1
+            if moved or already_gone:
+                self._pending_heal.add(_address(stage, key))
+            else:
+                self.errors += 1
 
     def put(self, stage: str, key: str, artifact: Artifact) -> bool:
         """Persist one entry atomically; returns False if already stored.
@@ -158,6 +199,10 @@ class ArtifactStore:
             return False
         with self._lock:
             self.writes += 1
+            address = _address(stage, key)
+            if address in self._pending_heal:
+                self._pending_heal.discard(address)
+                self.healed += 1
         return True
 
     def __contains__(self, stage_key: tuple[str, str]) -> bool:
@@ -177,6 +222,8 @@ class ArtifactStore:
                 "writes": self.writes,
                 "corrupt": self.corrupt,
                 "errors": self.errors,
+                "quarantined": self.quarantined,
+                "healed": self.healed,
             }
 
     def stats(self) -> dict:
@@ -217,23 +264,38 @@ class ArtifactStore:
                 }
                 total_entries += entries
                 total_bytes += size
+        quarantine_entries = 0
+        quarantine_bytes = 0
+        if self._quarantine.is_dir():
+            for path in self._quarantine.rglob("*" + _ENTRY_SUFFIX):
+                try:
+                    quarantine_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                quarantine_entries += 1
         return {
             "root": str(self.root),
             "entries": total_entries,
             "bytes": total_bytes,
             "stages": stages,
+            "quarantine": {
+                "entries": quarantine_entries,
+                "bytes": quarantine_bytes,
+            },
             "counters": self.counters(),
         }
 
     def gc(self) -> dict[str, int]:
-        """Prune leftovers: stale tmp files and entries that fail verify.
+        """Prune leftovers: stale tmp files, corrupt and quarantined entries.
 
-        Returns counts of removed tmp files and corrupt entries.  Valid
-        entries are never touched -- content addressing means an entry
-        can only ever be stale by corruption, not by age.
+        Returns counts of removed tmp files, corrupt entries (found by
+        re-verifying the addressable tree) and purged quarantine files.
+        Valid entries are never touched -- content addressing means an
+        entry can only ever be stale by corruption, not by age.
         """
         removed_tmp = 0
         removed_corrupt = 0
+        removed_quarantined = 0
         if self.root.is_dir():
             for tmp in self.root.rglob("*.tmp"):
                 try:
@@ -251,4 +313,15 @@ class ArtifactStore:
                         removed_corrupt += 1
                     except OSError:
                         continue
-        return {"tmp_removed": removed_tmp, "corrupt_removed": removed_corrupt}
+        if self._quarantine.is_dir():
+            for path in self._quarantine.rglob("*" + _ENTRY_SUFFIX):
+                try:
+                    path.unlink()
+                    removed_quarantined += 1
+                except OSError:
+                    continue
+        return {
+            "tmp_removed": removed_tmp,
+            "corrupt_removed": removed_corrupt,
+            "quarantine_removed": removed_quarantined,
+        }

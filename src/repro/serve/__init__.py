@@ -33,6 +33,7 @@ from repro.serve.metrics import (
 from repro.serve.service import (
     DeadlineExceededError,
     IdentificationService,
+    OverloadError,
     QueueFullError,
     RequestHandle,
     ServeError,
@@ -63,6 +64,7 @@ __all__ = [
     "IdentificationService",
     "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
+    "OverloadError",
     "QueueFullError",
     "RequestHandle",
     "ServeError",

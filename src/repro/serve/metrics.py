@@ -288,19 +288,35 @@ class MetricsRegistry:
                 histogram = self._histograms[name] = Histogram(buckets)
             return histogram
 
-    def snapshot(self) -> dict:
-        """All instruments as plain data, ready for printing/JSON."""
+    def snapshot(
+        self, source: str | None = None, seq: int | None = None
+    ) -> dict:
+        """All instruments as plain data, ready for printing/JSON.
+
+        Args:
+            source: Stable identity of the producing registry (e.g. the
+                cluster's per-incarnation worker id ``worker-0.2``).
+                When set, the snapshot carries a ``source`` stamp that
+                makes :meth:`merge` idempotent -- several snapshots of
+                the same source dedup to the newest one instead of
+                summing.
+            seq: Monotonic sequence number within ``source`` ("newest"
+                tiebreaker); required when ``source`` is given.
+        """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
-        return {
+        snap = {
             "counters": {n: c.value for n, c in sorted(counters.items())},
             "gauges": {n: g.value for n, g in sorted(gauges.items())},
             "histograms": {
                 n: h.snapshot() for n, h in sorted(histograms.items())
             },
         }
+        if source is not None:
+            snap["source"] = {"id": source, "seq": 0 if seq is None else seq}
+        return snap
 
     @staticmethod
     def merge(snapshots: Iterable[dict]) -> dict:
@@ -315,8 +331,31 @@ class MetricsRegistry:
         snapshot produced by this module, including ones round-tripped
         through JSON (bucket keys become strings -- both forms are
         accepted).
+
+        Snapshots carrying a ``source`` stamp (see :meth:`snapshot`)
+        are deduplicated first: for each source id only the highest
+        ``seq`` survives.  A registry's instruments are cumulative, so
+        two beats of the same worker are *views of the same counts at
+        different times* -- summing them double-counts; keeping the
+        newest is exact.  Unstamped snapshots are assumed distinct and
+        merge as before.
         """
-        snapshots = list(snapshots)
+        deduped: dict[str, dict] = {}
+        unstamped: list[dict] = []
+        for snap in snapshots:
+            stamp = snap.get("source")
+            if isinstance(stamp, dict) and "id" in stamp:
+                held = deduped.get(stamp["id"])
+                if (
+                    held is None
+                    or stamp.get("seq", 0) >= held["source"].get("seq", 0)
+                ):
+                    deduped[stamp["id"]] = snap
+            else:
+                unstamped.append(snap)
+        snapshots = unstamped + [
+            deduped[key] for key in sorted(deduped)
+        ]
         counters: dict[str, int] = {}
         gauges: dict[str, float] = {}
         histogram_parts: dict[str, list[dict]] = {}

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 
 from repro.core.pipeline import WiMi
 from repro.csi.collector import CaptureSession
+from repro.csi.quality import CorruptTraceError
+from repro.resilience import Backoff, LoadShedder, RetryPolicy
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import (
     BATCH_SIZE_BUCKETS,
@@ -46,11 +48,32 @@ from repro.serve.workers import WorkerPool
 
 
 class ServeError(Exception):
-    """Base class of all service-side request failures."""
+    """Base class of all service-side request failures.
+
+    ``retryable`` classifies the failure for callers: ``True`` means
+    the same request may succeed if resubmitted (elsewhere or later),
+    ``False`` means retrying is pointless (poison request, stopped
+    service).
+    """
+
+    retryable = False
 
 
 class QueueFullError(ServeError):
     """Submission rejected because the request queue is at capacity."""
+
+    retryable = True
+
+
+class OverloadError(ServeError):
+    """Submission shed by the adaptive load shedder.
+
+    Typed overload beats a timeout: the caller learns immediately that
+    the system is saturated (retry later / elsewhere, or raise the
+    request's priority) instead of discovering it via deadline lapse.
+    """
+
+    retryable = True
 
 
 class DeadlineExceededError(ServeError):
@@ -83,6 +106,17 @@ class ServiceConfig:
         dispatch_depth: Batches that may sit ready-to-run ahead of the
             workers; keeping it small propagates worker saturation back
             to the request queue (backpressure) instead of hiding it.
+        backoff_max_s: Cap on any single retry backoff delay.
+        shed_latency_threshold_ms: End-to-end latency EWMA at which the
+            load shedder reads pressure 1.0; ``None`` sheds on queue
+            depth alone.
+        shed_base_pressure: Pressure above which priority-0 submissions
+            are shed with :class:`OverloadError`.  The default 1.0
+            leaves priority-0 depth behaviour unchanged (queue-full
+            keeps its own typed rejection); set below 1.0 to shed
+            before the queue hard-fills.
+        shed_priority_step: Shed-threshold shift per priority unit.
+        shed_ewma_alpha: Smoothing factor of the latency EWMA.
     """
 
     queue_capacity: int = 64
@@ -93,6 +127,11 @@ class ServiceConfig:
     backoff_base_s: float = 0.002
     default_timeout_s: float | None = None
     dispatch_depth: int = 2
+    backoff_max_s: float = 0.25
+    shed_latency_threshold_ms: float | None = None
+    shed_base_pressure: float = 1.0
+    shed_priority_step: float = 0.15
+    shed_ewma_alpha: float = 0.2
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -120,6 +159,11 @@ class ServiceConfig:
         if self.dispatch_depth < 1:
             raise ValueError(
                 f"dispatch_depth must be >= 1, got {self.dispatch_depth}"
+            )
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_max_s ({self.backoff_max_s}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s})"
             )
 
 
@@ -185,7 +229,7 @@ class RequestHandle:
 class _Request:
     """Internal envelope the queue/batcher/workers pass around."""
 
-    __slots__ = ("session", "handle", "deadline", "submitted_at")
+    __slots__ = ("session", "handle", "deadline", "submitted_at", "priority")
 
     def __init__(
         self,
@@ -193,11 +237,13 @@ class _Request:
         handle: RequestHandle,
         deadline: float | None,
         submitted_at: float,
+        priority: int = 0,
     ):
         self.session = session
         self.handle = handle
         self.deadline = deadline
         self.submitted_at = submitted_at
+        self.priority = priority
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -244,11 +290,21 @@ class IdentificationService:
         self._stopped = False
         self._batcher: MicroBatcher | None = None
         self._pool: WorkerPool | None = None
+        self._shedder = LoadShedder(
+            capacity=self.config.queue_capacity,
+            latency_threshold_ms=self.config.shed_latency_threshold_ms,
+            ewma_alpha=self.config.shed_ewma_alpha,
+            base_pressure=self.config.shed_base_pressure,
+            priority_step=self.config.shed_priority_step,
+        )
         # Pre-create the instruments the snapshot readers expect even
         # under zero traffic.
         for name in (
             "requests.submitted", "requests.completed", "requests.failed",
             "requests.rejected", "requests.expired", "requests.retries",
+            "requests.shed",
+            "deadline.expired_admission", "deadline.expired_dequeue",
+            "deadline.expired_stage", "deadline.expired_retry",
             "faults.total",
             "cache.memory_hits", "cache.disk_hits", "cache.misses",
         ):
@@ -273,17 +329,27 @@ class IdentificationService:
                 return self
             if self._stopped:
                 raise ServiceStoppedError("service cannot be restarted")
+            retry_policy = RetryPolicy(
+                budget=self.config.retry_budget,
+                backoff=Backoff(
+                    base_s=self.config.backoff_base_s,
+                    max_s=self.config.backoff_max_s,
+                ),
+                # A structurally broken capture is deterministic; see
+                # Worker._run_isolated.
+                retryable=lambda exc: not isinstance(exc, CorruptTraceError),
+            )
             self._pool = WorkerPool(
                 wimi=self.wimi,
                 dispatch=self._dispatch,
                 metrics=self.metrics,
                 num_workers=self.config.num_workers,
-                retry_budget=self.config.retry_budget,
-                backoff_base_s=self.config.backoff_base_s,
+                retry_policy=retry_policy,
                 runner=self._runner,
                 stop_event=self._stop,
                 deadline_error=DeadlineExceededError,
                 hook_factory=lambda: StageEventRecorder(self.metrics),
+                latency_observer=self._shedder.observe_latency,
             )
             self._batcher = MicroBatcher(
                 inbox=self._inbox,
@@ -371,7 +437,10 @@ class IdentificationService:
     # ------------------------------------------------------------------
 
     def submit(
-        self, session: CaptureSession, timeout: float | None = None
+        self,
+        session: CaptureSession,
+        timeout: float | None = None,
+        priority: int = 0,
     ) -> RequestHandle:
         """Enqueue one session for identification.
 
@@ -380,13 +449,19 @@ class IdentificationService:
             timeout: Service-side deadline in seconds; falls back to
                 ``config.default_timeout_s``.  A request whose deadline
                 passes while queued or mid-flight resolves with
-                :class:`DeadlineExceededError`.
+                :class:`DeadlineExceededError`.  A non-positive timeout
+                is rejected at admission (counted under
+                ``deadline.expired_admission``) without queueing.
+            priority: Shedding class; under pressure lower priorities
+                are shed first (0 = normal, negative = best-effort,
+                positive = protected).
 
         Returns:
             A :class:`RequestHandle` resolving to the predicted label.
 
         Raises:
             QueueFullError: The bounded queue is at capacity.
+            OverloadError: The adaptive shedder refused this priority.
             ServiceStoppedError: The service is not running.
         """
         if not self.is_running:
@@ -398,11 +473,27 @@ class IdentificationService:
             timeout if timeout is not None else self.config.default_timeout_s
         )
         handle = RequestHandle()
+        if effective is not None and effective <= 0:
+            # Dead on arrival: account for it and resolve the handle
+            # without ever burning queue space or worker time.
+            self.metrics.counter("deadline.expired_admission").inc()
+            self.metrics.counter("requests.expired").inc()
+            handle._fail(
+                DeadlineExceededError("deadline expired before admission")
+            )
+            return handle
+        if not self._shedder.admit(self._inbox.qsize(), priority):
+            self.metrics.counter("requests.shed").inc()
+            raise OverloadError(
+                f"shed at priority {priority} "
+                f"(pressure {self._shedder.pressure(self._inbox.qsize()):.2f})"
+            )
         request = _Request(
             session=session,
             handle=handle,
             deadline=None if effective is None else now + effective,
             submitted_at=now,
+            priority=priority,
         )
         try:
             self._inbox.put_nowait(request)
@@ -417,11 +508,17 @@ class IdentificationService:
         return handle
 
     def submit_many(
-        self, sessions: list[CaptureSession], timeout: float | None = None
+        self,
+        sessions: list[CaptureSession],
+        timeout: float | None = None,
+        priority: int = 0,
     ) -> list[RequestHandle]:
         """Submit several sessions; rejection aborts at the first full
         queue (earlier handles stay live)."""
-        return [self.submit(session, timeout=timeout) for session in sessions]
+        return [
+            self.submit(session, timeout=timeout, priority=priority)
+            for session in sessions
+        ]
 
     def identify(
         self, session: CaptureSession, timeout: float | None = None
@@ -442,6 +539,7 @@ class IdentificationService:
         """
         snap = self.metrics.snapshot()
         snap["stage_cache"] = self.wimi.cache.snapshot()
+        snap["load_shedder"] = self._shedder.snapshot()
         store = self.wimi.cache.disk_store
         if store is not None and hasattr(store, "counters"):
             snap["artifact_store"] = store.counters()

@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.service import ServeError
+from repro.serve.service import ServeError, ServiceStoppedError
 
 
 class StreamLimitError(ServeError):
@@ -132,9 +132,11 @@ class StreamingGateway:
         self._lock = threading.Lock()
         self._sessions: dict[str, StreamingSession] = {}
         self._next_id = 0
+        self._draining = False
         for name in (
             "streams.opened", "streams.finalized",
             "streams.aborted", "streams.rejected",
+            "streams.drained", "streams.drain_failed",
         ):
             self.metrics.counter(name)
         self.metrics.gauge("streams.active").set(0.0)
@@ -158,6 +160,11 @@ class StreamingGateway:
             StreamLimitError: The gateway is at ``max_streams``.
         """
         with self._lock:
+            if self._draining:
+                self.metrics.counter("streams.rejected").inc()
+                raise ServiceStoppedError(
+                    "gateway is draining; no new streams accepted"
+                )
             if len(self._sessions) >= self.max_streams:
                 self.metrics.counter("streams.rejected").inc()
                 raise StreamLimitError(
@@ -189,6 +196,50 @@ class StreamingGateway:
             self.metrics.gauge("streams.active").set(
                 float(len(self._sessions))
             )
+
+    def drain(self) -> dict:
+        """Close every open session: finalize, or abort on failure.
+
+        Stops accepting new :meth:`open` calls (they raise
+        :class:`repro.serve.ServiceStoppedError`), then walks the open
+        sessions: each is finalized -- its buffered packets are worth a
+        classification attempt -- and a session whose finalize raises
+        (quality gate, poisoned capture) is aborted instead, so the
+        drain always terminates and never leaves a half-open stream.
+        Idempotent; safe against sessions closing concurrently.
+
+        Returns ``{"finalized": n, "failed": n}``.
+        """
+        with self._lock:
+            self._draining = True
+            sessions = list(self._sessions.values())
+        finalized = failed = 0
+        for session in sessions:
+            try:
+                session.finalize()
+                finalized += 1
+                self.metrics.counter("streams.drained").inc()
+            except StreamClosedError:
+                # Lost the race with the owner's own close; fine.
+                continue
+            except Exception:  # noqa: BLE001 - drain must terminate
+                session.abort()
+                failed += 1
+                self.metrics.counter("streams.drain_failed").inc()
+        return {"finalized": finalized, "failed": failed}
+
+    def install_signal_handlers(self, resend: bool = True):
+        """Drain open streams instead of abandoning them on SIGTERM.
+
+        Mirrors
+        :meth:`repro.serve.IdentificationService.install_signal_handlers`:
+        a polite ``kill`` finalizes (or cleanly aborts) every in-flight
+        :class:`StreamingSession` before the process exits.  Returns
+        the :class:`repro.serve.signals.GracefulShutdown` handle.
+        """
+        from repro.serve.signals import install_graceful_shutdown
+
+        return install_graceful_shutdown(self.drain, resend=resend)
 
     def snapshot(self) -> dict:
         """Gateway metrics plus the shared stage cache's hit rates."""

@@ -9,9 +9,18 @@ worker computes is immediately reusable by the others.
 Fault isolation is per request: a batch whose engine call raises falls
 back to request-at-a-time execution, so a poisoned session fails only
 itself (its handle carries the error) and the co-scheduled sessions
-still resolve.  Each failing request is retried up to a configurable
-budget with exponential backoff before its error is returned; the
-worker thread itself survives any request failure.
+still resolve.  Each failing request is retried under a
+:class:`repro.resilience.RetryPolicy` (budget-capped exponential
+backoff with full jitter) before its error is returned; the worker
+thread itself survives any request failure.
+
+Deadlines are enforced at three drop points, each with its own
+``deadline.expired_*`` counter: *dequeue* (expired while queued),
+*stage* (the engine's per-stage :func:`repro.resilience.check_deadline`
+guard fired mid-pipeline -- via the ambient ``deadline_scope`` the
+worker installs around every engine call), and *retry* (expired between
+attempts).  The legacy ``requests.expired`` counter aggregates all of
+them.
 
 Every fault is surfaced in the metrics registry: ``faults.total`` plus
 a per-exception-type ``faults.<ClassName>`` counter, and
@@ -30,7 +39,12 @@ import time
 from typing import Callable
 
 from repro.core.pipeline import WiMi
-from repro.csi.quality import CorruptTraceError
+from repro.resilience import (
+    Deadline,
+    DeadlineExpiredError,
+    RetryPolicy,
+    deadline_scope,
+)
 from repro.serve.metrics import MetricsRegistry
 
 #: How often workers re-check the stop event while idle (seconds).
@@ -51,21 +65,21 @@ class Worker(threading.Thread):
         view: WiMi,
         dispatch: queue.Queue,
         metrics: MetricsRegistry,
-        retry_budget: int,
-        backoff_base_s: float,
+        retry_policy: RetryPolicy,
         runner: Callable[[WiMi, list], list[str]],
         stop_event: threading.Event,
         deadline_error: type[Exception],
+        latency_observer: Callable[[float], None] | None = None,
     ):
         super().__init__(name=name, daemon=True)
         self.view = view
         self.dispatch = dispatch
         self.metrics = metrics
-        self.retry_budget = retry_budget
-        self.backoff_base_s = backoff_base_s
+        self.retry_policy = retry_policy
         self.runner = runner
         self.stop_event = stop_event
         self.deadline_error = deadline_error
+        self.latency_observer = latency_observer
 
     # ------------------------------------------------------------------
 
@@ -100,6 +114,7 @@ class Worker(threading.Thread):
                         "deadline passed while the request was queued"
                     ),
                 )
+                self.metrics.counter("deadline.expired_dequeue").inc()
                 self.metrics.counter("requests.expired").inc()
             else:
                 live.append(request)
@@ -111,14 +126,28 @@ class Worker(threading.Thread):
                 request.handle.attempts += 1
                 request.handle.batch_size = len(live)
             try:
-                labels = self.runner(
-                    self.view, [request.session for request in live]
-                )
+                with deadline_scope(self._batch_deadline(live)):
+                    labels = self.runner(
+                        self.view, [request.session for request in live]
+                    )
                 if len(labels) != len(live):
                     raise RuntimeError(
                         f"runner returned {len(labels)} labels for "
                         f"{len(live)} sessions"
                     )
+            except DeadlineExpiredError as exc:
+                # The earliest deadline in the batch lapsed mid-pipeline.
+                # Requests that are themselves expired fail here; the
+                # rest re-run isolated under their own deadlines.
+                now = time.monotonic()
+                for request in live:
+                    if request.expired(now):
+                        self.metrics.counter("deadline.expired_stage").inc()
+                        self.metrics.counter("requests.expired").inc()
+                        self._fail(request, self.deadline_error(str(exc)))
+                    else:
+                        self._run_isolated(request)
+                return
             except Exception as exc:
                 # Batch path failed: isolate the fault by running each
                 # request on its own (with its remaining retry budget).
@@ -137,14 +166,15 @@ class Worker(threading.Thread):
 
         The first isolated attempt is *not* counted against the retry
         budget -- the batch attempt may have failed because of a
-        different (poisoned) co-rider.  A
-        :class:`~repro.csi.quality.CorruptTraceError` short-circuits the
-        budget: a structurally broken capture is deterministic, so
-        retrying it would only delay the rejection.
+        different (poisoned) co-rider.  Errors the policy classifies as
+        non-retryable (by default :class:`CorruptTraceError` -- a
+        structurally broken capture is deterministic) short-circuit the
+        budget: retrying them would only delay the rejection.
         """
         error: BaseException | None = None
-        for retry in range(self.retry_budget + 1):
+        for retry in range(self.retry_policy.budget + 1):
             if request.expired(time.monotonic()):
+                self.metrics.counter("deadline.expired_retry").inc()
                 self.metrics.counter("requests.expired").inc()
                 self._fail(
                     request,
@@ -153,27 +183,56 @@ class Worker(threading.Thread):
                 return
             if retry > 0:
                 self.metrics.counter("requests.retries").inc()
-                time.sleep(self.backoff_base_s * (2 ** (retry - 1)))
+                self.retry_policy.sleep(retry - 1)
             request.handle.attempts += 1
             try:
-                labels = self.runner(self.view, [request.session])
+                with deadline_scope(self._request_deadline(request)):
+                    labels = self.runner(self.view, [request.session])
                 self._resolve(request, str(labels[0]))
+                return
+            except DeadlineExpiredError as exc:
+                # No point retrying: the deadline will not un-expire.
+                self.metrics.counter("deadline.expired_stage").inc()
+                self.metrics.counter("requests.expired").inc()
+                self._fail(request, self.deadline_error(str(exc)))
                 return
             except Exception as exc:  # noqa: BLE001 -- isolation boundary
                 error = exc
                 self._record_fault(exc)
-                if isinstance(exc, CorruptTraceError):
+                if not self.retry_policy.is_retryable(exc):
                     break
         assert error is not None
         self._fail(request, error)
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _request_deadline(request) -> Deadline | None:
+        """The ambient deadline for one request's engine run."""
+        if request.deadline is None:
+            return None
+        return Deadline(request.deadline)
+
+    @staticmethod
+    def _batch_deadline(live: list) -> Deadline | None:
+        """The scope for a batch run: its *earliest* member deadline.
+
+        When it fires mid-pipeline the batch falls back to isolated
+        execution, where each request runs under its own deadline -- so
+        a short-deadline co-rider cannot silently extend (max) nor a
+        long-deadline one silently truncate (nothing) the others.
+        """
+        deadlines = [r.deadline for r in live if r.deadline is not None]
+        if not deadlines:
+            return None
+        return Deadline(min(deadlines))
+
     def _resolve(self, request, label: str) -> None:
         request.handle.latency_s = time.monotonic() - request.submitted_at
-        self.metrics.histogram("latency_ms").observe(
-            request.handle.latency_s * 1000.0
-        )
+        latency_ms = request.handle.latency_s * 1000.0
+        self.metrics.histogram("latency_ms").observe(latency_ms)
+        if self.latency_observer is not None:
+            self.latency_observer(latency_ms)
         self.metrics.counter("requests.completed").inc()
         request.handle._resolve(label)
 
@@ -196,14 +255,17 @@ class WorkerPool:
         dispatch: Bounded batch queue fed by the micro-batcher.
         metrics: Shared registry.
         num_workers: Thread count.
-        retry_budget: Retries per failing request.
-        backoff_base_s: First-retry backoff (doubles per retry).
+        retry_policy: Shared :class:`repro.resilience.RetryPolicy`
+            (budget, jittered backoff, retryability classifier).
         runner: Batch execution function (None = ``default_runner``).
         stop_event: Shared shutdown signal.
         deadline_error: Exception type raised for expired requests
             (injected to avoid a circular import with ``service``).
         hook_factory: Called once per worker; the result is registered
             as a stage-event hook on that worker's engine view.
+        latency_observer: Optional callback fed each completed
+            request's end-to-end latency in ms (the load shedder's
+            EWMA input).
     """
 
     def __init__(
@@ -212,12 +274,12 @@ class WorkerPool:
         dispatch: queue.Queue,
         metrics: MetricsRegistry,
         num_workers: int,
-        retry_budget: int,
-        backoff_base_s: float,
+        retry_policy: RetryPolicy,
         runner: Callable[[WiMi, list], list[str]] | None,
         stop_event: threading.Event,
         deadline_error: type[Exception],
         hook_factory: Callable[[], Callable] | None = None,
+        latency_observer: Callable[[float], None] | None = None,
     ):
         self.workers: list[Worker] = []
         for index in range(num_workers):
@@ -230,11 +292,11 @@ class WorkerPool:
                     view=view,
                     dispatch=dispatch,
                     metrics=metrics,
-                    retry_budget=retry_budget,
-                    backoff_base_s=backoff_base_s,
+                    retry_policy=retry_policy,
                     runner=runner if runner is not None else default_runner,
                     stop_event=stop_event,
                     deadline_error=deadline_error,
+                    latency_observer=latency_observer,
                 )
             )
 

@@ -319,3 +319,212 @@ class TestKillSurvival:
             assert [h.result(timeout=120.0) for h in handles] == expected
             counters = client.snapshot()["cluster"]["counters"]
             assert counters["cluster.shards_failed"] == 1
+
+
+# ----------------------------------------------------------------------
+# Failure-control plane (unit level: no worker processes)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def orch(tmp_path):
+    """An orchestrator that never spawns workers: internals under test."""
+    from repro.cluster.orchestrator import Orchestrator
+
+    config = ClusterConfig(
+        num_workers=2,
+        breaker_failure_threshold=2,
+        hedge_after_s=0.05,
+        redelivery_backoff_base_s=10.0,  # deferrals visibly in the future
+        redelivery_backoff_max_s=20.0,
+    )
+    return Orchestrator(tmp_path / "registry", config=config)
+
+
+def _pend(orch, shard: int, request_id: str = "r-1"):
+    from repro.cluster.orchestrator import _Pending
+    from repro.serve.service import RequestHandle
+
+    envelope = Envelope(request_id=request_id, session=object(), shard=shard)
+    pending = _Pending(envelope, RequestHandle())
+    orch._pending[request_id] = pending
+    return pending
+
+
+class TestRedeliveryBackoff:
+    def test_in_flight_redelivery_is_deferred_not_immediate(self, orch):
+        """Regression: a crashed shard's in-flight envelopes used to be
+        re-published synchronously -- a poison pill would land on the
+        replacement in one wave and re-kill it."""
+        pending = _pend(orch, shard=0)
+        orch._redeliver(0, salvaged=[])
+        # Not on the wire yet: parked behind a jittered backoff.
+        assert orch.broker.next_reply(timeout=0.0) is None
+        assert orch.broker.endpoint(0).consume(timeout=0.05) is None
+        assert len(orch._deferred) == 1
+        due, envelope = orch._deferred[0]
+        assert envelope.attempts == 1
+        assert due > time.monotonic()
+        assert orch.metrics.snapshot()["counters"][
+            "cluster.redeliveries"
+        ] == 1
+        assert pending.envelope.attempts == 1
+
+    def test_salvaged_envelopes_republish_immediately(self, orch):
+        pending = _pend(orch, shard=0)
+        orch._redeliver(0, salvaged=[pending.envelope])
+        republished = orch.broker.endpoint(0).consume(timeout=1.0)
+        assert republished.request_id == pending.envelope.request_id
+        assert republished.attempts == 0  # never picked up: not a retry
+        assert orch._deferred == []
+
+    def test_flush_publishes_due_and_drops_resolved(self, orch):
+        kept = _pend(orch, shard=0, request_id="r-kept")
+        gone = _pend(orch, shard=0, request_id="r-gone")
+        now = time.monotonic()
+        orch._deferred = [
+            (now - 1.0, kept.envelope),
+            (now - 1.0, gone.envelope),
+            (now + 60.0, kept.envelope),
+        ]
+        del orch._pending["r-gone"]  # resolved while waiting out backoff
+        orch._flush_deferred()
+        flushed = orch.broker.endpoint(0).consume(timeout=1.0)
+        assert flushed.request_id == "r-kept"
+        assert orch.broker.endpoint(0).consume(timeout=0.05) is None
+        assert [e.request_id for _, e in orch._deferred] == ["r-kept"]
+
+
+class TestTypedOverloadReplies:
+    """Worker-side backpressure crosses the process boundary typed."""
+
+    @pytest.mark.parametrize("error_type", ["QueueFullError", "OverloadError"])
+    def test_reply_maps_to_typed_retryable_error(self, orch, error_type):
+        from repro.serve import OverloadError
+
+        pending = _pend(orch, shard=0)
+        orch._resolve(Reply(
+            request_id=pending.envelope.request_id,
+            error_type=error_type,
+            error="worker saturated",
+            worker="worker-0.1",
+            shard=0,
+        ))
+        expected = (
+            QueueFullError if error_type == "QueueFullError" else OverloadError
+        )
+        with pytest.raises(expected, match="worker-0.1") as excinfo:
+            pending.handle.result(timeout=1.0)
+        assert excinfo.value.retryable
+
+
+class TestBreakerRouting:
+    def _key_for_shard(self, orch, shard: int) -> str:
+        for index in range(1000):
+            key = f"key-{index}"
+            if orch._ring.route(key) == shard:
+                return key
+        raise AssertionError("no key found")
+
+    def test_open_breaker_diverts_to_live_sibling(self, orch):
+        key = self._key_for_shard(orch, 0)
+        orch._breakers[0].record_failure()
+        orch._breakers[0].record_failure()  # threshold 2: opens
+        assert orch._route(key) == 1
+        counters = orch.metrics.snapshot()["counters"]
+        assert counters["breaker.opened"] == 1
+        assert counters["breaker.diverted"] == 1
+
+    def test_closed_breaker_keeps_ring_primary(self, orch):
+        key = self._key_for_shard(orch, 0)
+        assert orch._route(key) == 0
+        assert orch.metrics.snapshot()["counters"]["breaker.diverted"] == 0
+
+    def test_all_breakers_open_falls_back_to_primary(self, orch):
+        key = self._key_for_shard(orch, 0)
+        for breaker in orch._breakers.values():
+            breaker.record_failure()
+            breaker.record_failure()
+        assert orch._route(key) == 0
+
+    def test_reply_from_shard_closes_its_breaker(self, orch):
+        orch._breakers[0].record_failure()
+        orch._breakers[0].record_failure()
+        pending = _pend(orch, shard=0)
+        orch._resolve(Reply(
+            request_id=pending.envelope.request_id,
+            label="water",
+            worker="worker-0.2",
+            shard=0,
+        ))
+        from repro.resilience import CLOSED
+
+        assert orch._breakers[0].state == CLOSED
+        assert orch.metrics.snapshot()["counters"]["breaker.closed"] == 1
+
+
+class TestHedging:
+    def test_slow_pending_is_hedged_once_to_sibling(self, orch):
+        pending = _pend(orch, shard=0)
+        pending.submitted_mono -= 1.0  # well past hedge_after_s=0.05
+        orch._maybe_hedge()
+        hedged = orch.broker.endpoint(1).consume(timeout=1.0)
+        assert hedged.request_id == pending.envelope.request_id
+        assert hedged.hedged and hedged.shard == 1
+        assert hedged.attempts == pending.envelope.attempts  # not a retry
+        assert pending.hedged
+        assert orch.metrics.snapshot()["counters"]["cluster.hedges"] == 1
+        # Already hedged: the monitor never hedges the same request twice.
+        orch._maybe_hedge()
+        assert orch.broker.endpoint(1).consume(timeout=0.05) is None
+
+    def test_fresh_pending_is_not_hedged(self, orch):
+        _pend(orch, shard=0)
+        orch._maybe_hedge()
+        assert orch.broker.endpoint(1).consume(timeout=0.05) is None
+        assert orch.metrics.snapshot()["counters"]["cluster.hedges"] == 0
+
+    def test_single_live_shard_never_hedges(self, orch):
+        orch._slots[1].failed = True
+        pending = _pend(orch, shard=0)
+        pending.submitted_mono -= 1.0
+        orch._maybe_hedge()
+        assert orch.metrics.snapshot()["counters"]["cluster.hedges"] == 0
+
+    def test_adaptive_threshold_needs_observations(self, tmp_path):
+        from repro.cluster.orchestrator import Orchestrator
+
+        config = ClusterConfig(num_workers=2, hedge_after_s=None)
+        orch = Orchestrator(tmp_path / "registry", config=config)
+        assert orch._hedge_threshold_s() is None  # no latency history yet
+        for _ in range(config.hedge_min_observations):
+            orch._latency_hist.observe(100.0)
+        threshold = orch._hedge_threshold_s()
+        assert threshold == pytest.approx(
+            0.1 * config.hedge_latency_factor, rel=0.2
+        )
+
+
+class TestAdmissionControl:
+    def test_zero_timeout_fails_at_admission_without_publishing(self, orch):
+        from repro.serve import DeadlineExceededError
+
+        orch._started = True  # traffic accepted; no workers needed
+        handle = orch.submit(object(), timeout=0.0)
+        with pytest.raises(DeadlineExceededError, match="admission"):
+            handle.result(timeout=1.0)
+        counters = orch.metrics.snapshot()["counters"]
+        assert counters["deadline.expired_admission"] == 1
+        assert counters["requests.submitted"] == 0
+        assert orch._pending == {}
+
+    def test_negative_priority_is_shed_under_depth_pressure(self, orch):
+        from repro.serve import OverloadError
+
+        orch._started = True
+        capacity = orch.config.queue_capacity
+        for index in range(int(capacity * 0.9)):
+            _pend(orch, shard=0, request_id=f"r-fill-{index}")
+        with pytest.raises(OverloadError):
+            orch.submit(object(), timeout=None, priority=-1)
+        assert orch.metrics.snapshot()["counters"]["requests.shed"] == 1

@@ -167,9 +167,70 @@ class TestStatsAndGc:
         stale = store.path_for(STAGE, "good").parent / "leftover.123.tmp"
         stale.write_bytes(b"crashed mid-write")
         removed = store.gc()
-        assert removed == {"tmp_removed": 1, "corrupt_removed": 1}
+        assert removed == {
+            "tmp_removed": 1, "corrupt_removed": 1, "quarantine_removed": 0,
+        }
         assert store.get(STAGE, "good") is not None
         assert not store.path_for(STAGE, "bad").exists()
+
+
+class TestQuarantine:
+    """Corrupt objects are moved aside, never re-read, and self-heal."""
+
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(STAGE, "k1", _artifact())
+        flip_bits(store.path_for(STAGE, "k1"), num_flips=16, seed=5)
+        assert store.get(STAGE, "k1") is None
+        assert store.counters()["quarantined"] == 1
+        # The damaged bytes are preserved for forensics...
+        quarantined = list((store.root / "quarantine").rglob("*.art"))
+        assert len(quarantined) == 1
+        # ...and the live address is vacated.
+        assert not store.path_for(STAGE, "k1").exists()
+
+    def test_quarantined_entry_is_never_re_read(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(STAGE, "k1", _artifact())
+        flip_bits(store.path_for(STAGE, "k1"), num_flips=16, seed=5)
+        assert store.get(STAGE, "k1") is None
+        # Second read: a plain miss. The corrupt bytes are out of the
+        # object tree, so they are not re-parsed (corrupt stays at 1).
+        assert store.get(STAGE, "k1") is None
+        assert store.counters()["corrupt"] == 1
+        assert store.counters()["quarantined"] == 1
+        assert store.counters()["misses"] == 2
+
+    def test_recompute_heals_a_quarantined_address(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        artifact = _artifact()
+        store.put(STAGE, "k1", artifact)
+        flip_bits(store.path_for(STAGE, "k1"), num_flips=16, seed=5)
+        assert store.get(STAGE, "k1") is None
+        # The caller recomputes and re-puts: the address heals.
+        assert store.put(STAGE, "k1", artifact)
+        assert store.counters()["healed"] == 1
+        loaded = store.get(STAGE, "k1")
+        assert loaded is not None
+        assert np.array_equal(loaded.amplitudes, artifact.amplitudes)
+
+    def test_stats_reports_quarantine_usage(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(STAGE, "k1", _artifact())
+        flip_bits(store.path_for(STAGE, "k1"), num_flips=16, seed=5)
+        store.get(STAGE, "k1")
+        quarantine = store.stats()["quarantine"]
+        assert quarantine["entries"] == 1
+        assert quarantine["bytes"] > 0
+
+    def test_gc_purges_the_quarantine(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(STAGE, "k1", _artifact())
+        flip_bits(store.path_for(STAGE, "k1"), num_flips=16, seed=5)
+        store.get(STAGE, "k1")
+        removed = store.gc()
+        assert removed["quarantine_removed"] == 1
+        assert list((store.root / "quarantine").rglob("*.art")) == []
 
 
 class TestMultiProcess:

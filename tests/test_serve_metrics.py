@@ -200,3 +200,51 @@ class TestMerge:
         merged = MetricsRegistry.merge([round_tripped])
         assert merged["histograms"]["latency_ms"]["count"] == 3
         assert merged["histograms"]["latency_ms"]["max"] == 900.0
+
+
+class TestMergeIdempotency:
+    """Source-stamped snapshots dedup per (worker, epoch): a re-sent
+    heartbeat or a restarted collector never double-counts."""
+
+    @staticmethod
+    def _stamped(worker: str, seq: int, value: int) -> dict:
+        registry = MetricsRegistry()
+        registry.counter("requests.completed").inc(value)
+        return registry.snapshot(source=worker, seq=seq)
+
+    def test_same_snapshot_twice_counts_once(self):
+        snap = self._stamped("worker-0.1", 3, 10)
+        merged = MetricsRegistry.merge([snap, snap])
+        assert merged["counters"]["requests.completed"] == 10
+
+    def test_highest_seq_wins_per_source(self):
+        early = self._stamped("worker-0.1", 1, 4)
+        late = self._stamped("worker-0.1", 7, 9)
+        merged = MetricsRegistry.merge([late, early])
+        assert merged["counters"]["requests.completed"] == 9
+
+    def test_distinct_incarnations_sum(self):
+        # worker-0.1 died after 5 requests; its replacement worker-0.2
+        # served 3 more.  Both incarnations' work counts.
+        merged = MetricsRegistry.merge([
+            self._stamped("worker-0.1", 9, 5),
+            self._stamped("worker-0.2", 2, 3),
+        ])
+        assert merged["counters"]["requests.completed"] == 8
+
+    def test_unstamped_snapshots_still_sum(self):
+        registry = MetricsRegistry()
+        registry.counter("requests.completed").inc(2)
+        plain = registry.snapshot()
+        merged = MetricsRegistry.merge([
+            plain, plain, self._stamped("worker-0.1", 1, 1),
+        ])
+        # Unstamped snapshots carry no identity: caller's problem.
+        assert merged["counters"]["requests.completed"] == 5
+
+    def test_stamp_survives_json_round_trip(self):
+        import json
+
+        snap = json.loads(json.dumps(self._stamped("worker-0.1", 2, 6)))
+        merged = MetricsRegistry.merge([snap, snap])
+        assert merged["counters"]["requests.completed"] == 6

@@ -365,3 +365,119 @@ class TestHandleEdges:
         assert stopped >= len(handles) - 2
         with pytest.raises(ServiceStoppedError):
             service.submit(test[0])
+
+
+class TestAdmissionControl:
+    """Deadline and load-shed checks at the service's front door."""
+
+    def test_expired_deadline_fails_at_admission(self, deployment):
+        wimi, _, test = deployment
+        config = ServiceConfig(num_workers=1)
+        with IdentificationService(wimi, config) as service:
+            handle = service.submit(test[0], timeout=0.0)
+            with pytest.raises(DeadlineExceededError, match="admission"):
+                handle.result(timeout=5.0)
+            counters = service.snapshot()["counters"]
+            assert counters["deadline.expired_admission"] == 1
+            # Never enqueued: the healthy path is untouched.
+            assert counters["requests.submitted"] == 0
+            assert service.identify(test[0], timeout=30.0)
+
+    def test_negative_priority_shed_under_depth_pressure(self, deployment):
+        from repro.serve import OverloadError
+
+        wimi, _, test = deployment
+        release = threading.Event()
+
+        def stalled(view, sessions):
+            release.wait(timeout=30.0)
+            return default_runner(view, sessions)
+
+        config = ServiceConfig(
+            queue_capacity=10, max_batch_size=1, num_workers=1,
+            dispatch_depth=1, max_wait_s=0.0,
+        )
+        service = IdentificationService(wimi, config, runner=stalled)
+        shed = 0
+        accepted = []
+        with service:
+            for _ in range(16):
+                try:
+                    accepted.append(
+                        service.submit(test[0], priority=-1)
+                    )
+                except OverloadError as error:
+                    assert error.retryable
+                    shed += 1
+                except QueueFullError:
+                    pass
+            assert shed > 0
+            assert service.snapshot()["counters"]["requests.shed"] == shed
+            release.set()
+            for handle in accepted:
+                assert handle.result(timeout=30.0)
+
+    def test_normal_priority_never_depth_shed(self, deployment):
+        # Default thresholds: depth saturation stays QueueFullError's
+        # job; priority-0 traffic is never shed on queue depth alone.
+        wimi, _, test = deployment
+        release = threading.Event()
+
+        def stalled(view, sessions):
+            release.wait(timeout=30.0)
+            return default_runner(view, sessions)
+
+        config = ServiceConfig(
+            queue_capacity=4, max_batch_size=1, num_workers=1,
+            dispatch_depth=1, max_wait_s=0.0,
+        )
+        service = IdentificationService(wimi, config, runner=stalled)
+        with service:
+            outcomes = []
+            for _ in range(16):
+                try:
+                    outcomes.append(service.submit(test[0]))
+                except QueueFullError:
+                    pass
+            assert service.snapshot()["counters"]["requests.shed"] == 0
+            release.set()
+            for handle in outcomes:
+                handle.result(timeout=30.0)
+
+    def test_snapshot_exposes_shedder_state(self, deployment):
+        wimi, _, test = deployment
+        with IdentificationService(wimi, ServiceConfig()) as service:
+            service.identify(test[0], timeout=30.0)
+            shed = service.snapshot()["load_shedder"]
+            assert shed["ewma_ms"] is None or shed["ewma_ms"] >= 0.0
+
+
+class TestStageDeadline:
+    def test_deadline_expiring_mid_pipeline_aborts_before_next_stage(
+        self, deployment
+    ):
+        wimi, _, _ = deployment
+        catalog = default_catalog()
+        # A session never seen by the shared stage cache: its stages
+        # must execute, so the engine's deadline check actually fires.
+        fresh = collect_dataset(
+            [catalog.get("pure_water")], scene=standard_scene("lab"),
+            repetitions=1, num_packets=6, seed=91,
+        )["pure_water"][0]
+        started = threading.Event()
+
+        def slow_then_run(view, sessions):
+            started.set()
+            time.sleep(0.25)  # outlive the deadline before the engine runs
+            return default_runner(view, sessions)
+
+        config = ServiceConfig(num_workers=1, retry_budget=0)
+        with IdentificationService(
+            wimi, config, runner=slow_then_run
+        ) as service:
+            handle = service.submit(fresh, timeout=0.2)
+            assert started.wait(timeout=10.0)
+            with pytest.raises(DeadlineExceededError):
+                handle.result(timeout=30.0)
+            counters = service.snapshot()["counters"]
+            assert counters["deadline.expired_stage"] >= 1
